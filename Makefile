@@ -1,0 +1,24 @@
+# Convenience targets for the repro library.
+
+.PHONY: install test bench examples experiments clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script"; python $$script || exit 1; \
+	done
+
+experiments:
+	python -m repro.cli all
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

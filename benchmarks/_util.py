@@ -1,0 +1,36 @@
+"""Helpers shared by the benchmark suite.
+
+Each benchmark regenerates one paper table/figure (or an ablation) and
+*records* the rendered rows/series in two places:
+
+* printed to stdout (visible with ``pytest benchmarks/ -s``), and
+* written to ``benchmarks/results/<name>.txt`` so the reproduced outputs
+  survive pytest's output capturing in the default invocation.
+
+pytest-benchmark's timing table then reports how long each regeneration
+takes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    """Persist and print one experiment's rendered output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n[{name}] written to {path}\n{text}")
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The evaluation harnesses are deterministic and heavyweight, so the
+    default calibration (hundreds of rounds) is both useless and slow;
+    one timed round is what we want.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,89 @@
+"""ABL-1: group-aggregation strategy for Eq. 3.
+
+The paper's Eq. 3 as printed is degenerate (see DESIGN.md §2.5); this
+ablation compares the three candidate readings — our default
+``inverse_deviation``, plain ``mean``, and ``median``.
+
+The strategy only matters for *mixed* groups (legitimate accounts grouped
+with Sybil accounts, the false-positive case the paper discusses for
+AG-FP), so the ablation uses AG-FP grouping, whose same-model collisions
+produce exactly those groups.  With a pure grouping like AG-TR on this
+scenario, all strategies coincide — that case is asserted too.
+"""
+
+import numpy as np
+from _util import record, run_once
+
+from repro.core.crh import CRH
+from repro.core.framework import GROUP_AGGREGATIONS, SybilResistantTruthDiscovery
+from repro.core.grouping import FingerprintGrouper, TrajectoryGrouper
+from repro.experiments.reporting import render_table
+from repro.metrics.accuracy import mean_absolute_error
+from repro.simulation.scenario import PaperScenarioConfig, build_scenario
+
+SEEDS = (11, 12, 13, 14, 15)
+
+
+def _run():
+    mixed = {name: [] for name in GROUP_AGGREGATIONS}
+    pure = {name: [] for name in GROUP_AGGREGATIONS}
+    crh = []
+    for seed in SEEDS:
+        scenario = build_scenario(
+            PaperScenarioConfig(sybil_activeness=0.8),
+            np.random.default_rng(seed),
+        )
+        fp_grouping = FingerprintGrouper().group(
+            scenario.dataset, scenario.fingerprints
+        )
+        tr_grouping = TrajectoryGrouper().group(scenario.dataset)
+        crh.append(
+            mean_absolute_error(
+                CRH().discover(scenario.dataset).truths, scenario.ground_truths
+            )
+        )
+        for name in GROUP_AGGREGATIONS:
+            framework = SybilResistantTruthDiscovery(aggregation=name)
+            mixed[name].append(
+                mean_absolute_error(
+                    framework.discover(
+                        scenario.dataset, grouping=fp_grouping
+                    ).truths,
+                    scenario.ground_truths,
+                )
+            )
+            pure[name].append(
+                mean_absolute_error(
+                    framework.discover(
+                        scenario.dataset, grouping=tr_grouping
+                    ).truths,
+                    scenario.ground_truths,
+                )
+            )
+    summarize = lambda table: {
+        name: float(np.mean(vals)) for name, vals in table.items()
+    }
+    return summarize(mixed), summarize(pure), float(np.mean(crh))
+
+
+def test_bench_ablation_aggregation(benchmark):
+    mixed, pure, crh_mae = run_once(benchmark, _run)
+    rows = [
+        [name, mixed[name], pure[name]] for name in sorted(mixed)
+    ]
+    rows.append(["(CRH baseline)", crh_mae, crh_mae])
+    record(
+        "abl1_aggregation",
+        render_table(
+            ["Eq. 3 strategy", "MAE w/ AG-FP groups", "MAE w/ AG-TR groups"],
+            rows,
+            title="ABL-1 — group aggregation strategy",
+        ),
+    )
+    # Every strategy with every grouping improves on CRH under attack.
+    for name in GROUP_AGGREGATIONS:
+        assert mixed[name] < crh_mae
+        assert pure[name] < crh_mae
+    # Pure groupings make the strategy choice irrelevant.
+    values = list(pure.values())
+    assert max(values) - min(values) < 0.2

@@ -1,0 +1,89 @@
+"""ABL-4: data-calibrated thresholds vs. the paper's fixed defaults.
+
+The paper leaves rho/phi as manual knobs.  ABL-2 showed the framework is
+robust across a plateau of settings; this ablation asks whether the
+largest-gap calibrator (`repro.core.grouping.calibration`) lands *inside*
+that plateau automatically, across Sybil activeness levels — including
+the hard low-activeness corner where fixed defaults underperform.
+"""
+
+import numpy as np
+from _util import record, run_once
+
+from repro.core.framework import SybilResistantTruthDiscovery
+from repro.core.grouping import (
+    TaskSetGrouper,
+    TrajectoryGrouper,
+    auto_taskset_grouper,
+    auto_trajectory_grouper,
+)
+from repro.experiments.reporting import render_table
+from repro.metrics.accuracy import mean_absolute_error
+from repro.ml.metrics import adjusted_rand_index
+from repro.simulation.scenario import PaperScenarioConfig, build_scenario
+
+SEEDS = (81, 82, 83)
+SYBIL_LEVELS = (0.2, 0.5, 1.0)
+
+
+def _evaluate(scenario, grouper):
+    order = scenario.dataset.accounts
+    grouping = grouper.group(scenario.dataset)
+    ari = adjusted_rand_index(
+        scenario.user_partition.as_labels(order),
+        grouping.restricted_to(order).as_labels(order),
+    )
+    result = SybilResistantTruthDiscovery().discover(
+        scenario.dataset, grouping=grouping
+    )
+    mae = mean_absolute_error(result.truths, scenario.ground_truths)
+    return ari, mae
+
+
+def _run():
+    rows = []
+    for sybil_activeness in SYBIL_LEVELS:
+        cells = {key: {"ari": [], "mae": []} for key in (
+            "TS fixed", "TS auto", "TR fixed", "TR auto")}
+        for seed in SEEDS:
+            scenario = build_scenario(
+                PaperScenarioConfig(sybil_activeness=sybil_activeness),
+                np.random.default_rng(seed),
+            )
+            variants = {
+                "TS fixed": TaskSetGrouper(),
+                "TS auto": auto_taskset_grouper(scenario.dataset),
+                "TR fixed": TrajectoryGrouper(),
+                "TR auto": auto_trajectory_grouper(scenario.dataset),
+            }
+            for key, grouper in variants.items():
+                ari, mae = _evaluate(scenario, grouper)
+                cells[key]["ari"].append(ari)
+                cells[key]["mae"].append(mae)
+        row = [f"{sybil_activeness:.1f}"]
+        for key in ("TS fixed", "TS auto", "TR fixed", "TR auto"):
+            row.append(float(np.mean(cells[key]["ari"])))
+            row.append(float(np.mean(cells[key]["mae"])))
+        rows.append(row)
+    return rows
+
+
+def test_bench_ablation_calibration(benchmark):
+    rows = run_once(benchmark, _run)
+    headers = ["sybil act."]
+    for key in ("TS fixed", "TS auto", "TR fixed", "TR auto"):
+        headers += [f"{key} ARI", f"{key} MAE"]
+    record(
+        "abl4_calibration",
+        render_table(
+            headers,
+            rows,
+            precision=3,
+            title="ABL-4 — fixed vs. auto-calibrated grouping thresholds",
+        ),
+    )
+    # Columns: [act, TSf_ari, TSf_mae, TSa_ari, TSa_mae, TRf_ari, TRf_mae,
+    #           TRa_ari, TRa_mae].  Auto-TR must match fixed-TR's MAE
+    # within noise at every activeness level.
+    for row in rows:
+        assert row[8] <= row[6] + 1.0

@@ -1,0 +1,94 @@
+"""ABL-5: robust (weighted-median) truth discovery vs. grouping.
+
+A natural question about the paper's design: instead of grouping
+accounts, couldn't the platform just swap Eq. 2's weighted mean for a
+robust weighted *median*?  This ablation runs the sweep: CRH, median-CRH
+(same weights, median truth update), and the framework (TD-TR), across
+Sybil activeness.
+
+Measured shape (see EXPERIMENTS.md): the median variant does **not**
+help — in the paper's population the attackers' 10 accounts form a claim
+*majority* on every task they touch (vs. ~4 honest claimants at
+legitimate activeness 0.5), and a median follows the majority exactly.
+Robust statistics defend against outliers, not against ballot-stuffing;
+removing the attacker's cardinality advantage (grouping) is the defence
+that matches the attack.
+"""
+
+import numpy as np
+from _util import record, run_once
+
+from repro.core.crh import CRH
+from repro.core.framework import SybilResistantTruthDiscovery
+from repro.core.grouping import TrajectoryGrouper
+from repro.core.truth_discovery import IterativeTruthDiscovery
+from repro.experiments.reporting import render_table
+from repro.metrics.accuracy import mean_absolute_error
+from repro.simulation.scenario import PaperScenarioConfig, build_scenario
+
+SEEDS = (91, 92, 93)
+SYBIL_LEVELS = (0.2, 0.5, 0.8, 1.0)
+
+
+def _run():
+    rows = []
+    for sybil_activeness in SYBIL_LEVELS:
+        crh_maes, median_maes, framework_maes = [], [], []
+        for seed in SEEDS:
+            scenario = build_scenario(
+                PaperScenarioConfig(
+                    legit_activeness=0.5, sybil_activeness=sybil_activeness
+                ),
+                np.random.default_rng(seed),
+            )
+            crh_maes.append(
+                mean_absolute_error(
+                    CRH().discover(scenario.dataset).truths,
+                    scenario.ground_truths,
+                )
+            )
+            median_td = IterativeTruthDiscovery(truth_estimator="median")
+            median_maes.append(
+                mean_absolute_error(
+                    median_td.discover(scenario.dataset).truths,
+                    scenario.ground_truths,
+                )
+            )
+            framework = SybilResistantTruthDiscovery(TrajectoryGrouper())
+            framework_maes.append(
+                mean_absolute_error(
+                    framework.discover(scenario.dataset).truths,
+                    scenario.ground_truths,
+                )
+            )
+        rows.append(
+            [
+                f"{sybil_activeness:.1f}",
+                float(np.mean(crh_maes)),
+                float(np.mean(median_maes)),
+                float(np.mean(framework_maes)),
+            ]
+        )
+    return rows
+
+
+def test_bench_ablation_median(benchmark):
+    rows = run_once(benchmark, _run)
+    record(
+        "abl5_median",
+        render_table(
+            ["sybil activeness", "CRH (mean)", "CRH (median)", "TD-TR"],
+            rows,
+            precision=2,
+            title="ABL-5 — robust truth update vs. account grouping (MAE, dBm)",
+        ),
+    )
+    for row in rows:
+        _, crh, median, framework = row
+        # The Sybil accounts are a claim majority on attacked tasks, so
+        # the median variant cannot beat plain CRH (it follows the
+        # majority even harder) ...
+        assert median >= crh - 1.0
+        # ... while the grouped framework beats both by a wide margin.
+        assert framework < crh / 2
+        assert framework < median / 2

@@ -1,0 +1,83 @@
+"""ABL-2: threshold sensitivity of AG-TS (rho) and AG-TR (phi).
+
+The paper's remarks note both thresholds are deployment knobs.  This
+ablation sweeps each around its walkthrough value (1.0) on the paper
+scenario and reports grouping ARI and framework MAE.  Expectation: a wide
+plateau of good settings for AG-TR (Sybil dissimilarities are orders of
+magnitude below legitimate ones), a narrower one for AG-TS.
+"""
+
+import numpy as np
+from _util import record, run_once
+
+from repro.core.framework import SybilResistantTruthDiscovery
+from repro.core.grouping import TaskSetGrouper, TrajectoryGrouper
+from repro.experiments.reporting import render_table
+from repro.metrics.accuracy import mean_absolute_error
+from repro.ml.metrics import adjusted_rand_index
+from repro.simulation.scenario import PaperScenarioConfig, build_scenario
+
+RHO_VALUES = (0.25, 0.5, 1.0, 2.0, 4.0)
+PHI_VALUES = (0.001, 0.01, 0.1, 1.0, 10.0)
+SEEDS = (21, 22, 23)
+
+
+def _evaluate(make_grouper, values):
+    rows = []
+    for value in values:
+        aris, maes = [], []
+        for seed in SEEDS:
+            scenario = build_scenario(
+                PaperScenarioConfig(), np.random.default_rng(seed)
+            )
+            grouping = make_grouper(value).group(scenario.dataset)
+            order = scenario.dataset.accounts
+            aris.append(
+                adjusted_rand_index(
+                    scenario.user_partition.as_labels(order),
+                    grouping.restricted_to(order).as_labels(order),
+                )
+            )
+            result = SybilResistantTruthDiscovery().discover(
+                scenario.dataset, grouping=grouping
+            )
+            maes.append(
+                mean_absolute_error(result.truths, scenario.ground_truths)
+            )
+        rows.append([value, float(np.mean(aris)), float(np.mean(maes))])
+    return rows
+
+
+def _run():
+    rho_rows = _evaluate(lambda rho: TaskSetGrouper(threshold=rho), RHO_VALUES)
+    phi_rows = _evaluate(
+        lambda phi: TrajectoryGrouper(threshold=phi), PHI_VALUES
+    )
+    return rho_rows, phi_rows
+
+
+def test_bench_ablation_thresholds(benchmark):
+    rho_rows, phi_rows = run_once(benchmark, _run)
+    text = "\n\n".join(
+        [
+            render_table(
+                ["rho", "ARI", "MAE"],
+                rho_rows,
+                precision=3,
+                title="ABL-2 — AG-TS threshold rho sweep",
+            ),
+            render_table(
+                ["phi", "ARI", "MAE"],
+                phi_rows,
+                precision=3,
+                title="ABL-2 — AG-TR threshold phi sweep",
+            ),
+        ]
+    )
+    record("abl2_thresholds", text)
+
+    # AG-TR at the walkthrough threshold groups perfectly; a phi that is
+    # orders of magnitude too small starts splitting the attacker.
+    phi_ari = {row[0]: row[1] for row in phi_rows}
+    assert phi_ari[1.0] > 0.85
+    assert phi_ari[0.001] < phi_ari[1.0]

@@ -1,0 +1,83 @@
+"""EXT-1: the paper's future-work extension — combined account grouping.
+
+Compares union and intersection combinations of AG-FP + AG-TR against the
+individual methods (user-partition ARI and framework MAE, paper scenario).
+Expectation: union(AG-FP, AG-TR) is at least as strong as AG-FP alone and
+close to AG-TR (which already handles both attack types here).
+"""
+
+import numpy as np
+from _util import record, run_once
+
+from repro.core.framework import SybilResistantTruthDiscovery
+from repro.core.grouping import (
+    CombinedGrouper,
+    FingerprintGrouper,
+    TaskSetGrouper,
+    TrajectoryGrouper,
+)
+from repro.experiments.reporting import render_table
+from repro.metrics.accuracy import mean_absolute_error
+from repro.ml.metrics import adjusted_rand_index
+from repro.simulation.scenario import PaperScenarioConfig, build_scenario
+
+SEEDS = (41, 42, 43)
+
+
+def _groupers():
+    return {
+        "AG-FP": FingerprintGrouper(),
+        "AG-TS": TaskSetGrouper(),
+        "AG-TR": TrajectoryGrouper(),
+        "union(FP,TR)": CombinedGrouper(
+            [FingerprintGrouper(), TrajectoryGrouper()], mode="union"
+        ),
+        "intersect(FP,TR)": CombinedGrouper(
+            [FingerprintGrouper(), TrajectoryGrouper()], mode="intersection"
+        ),
+    }
+
+
+def _run():
+    names = list(_groupers())
+    aris = {name: [] for name in names}
+    maes = {name: [] for name in names}
+    for seed in SEEDS:
+        scenario = build_scenario(
+            PaperScenarioConfig(sybil_activeness=0.8),
+            np.random.default_rng(seed),
+        )
+        order = scenario.dataset.accounts
+        truth_labels = scenario.user_partition.as_labels(order)
+        for name, grouper in _groupers().items():
+            grouping = grouper.group(scenario.dataset, scenario.fingerprints)
+            aris[name].append(
+                adjusted_rand_index(
+                    truth_labels, grouping.restricted_to(order).as_labels(order)
+                )
+            )
+            result = SybilResistantTruthDiscovery().discover(
+                scenario.dataset, grouping=grouping
+            )
+            maes[name].append(
+                mean_absolute_error(result.truths, scenario.ground_truths)
+            )
+    return [
+        [name, float(np.mean(aris[name])), float(np.mean(maes[name]))]
+        for name in names
+    ]
+
+
+def test_bench_ext_combined(benchmark):
+    rows = run_once(benchmark, _run)
+    record(
+        "ext1_combined",
+        render_table(
+            ["grouping", "ARI (users)", "MAE"],
+            rows,
+            precision=3,
+            title="EXT-1 — combined grouping vs. individual methods",
+        ),
+    )
+    by_name = {row[0]: row for row in rows}
+    assert by_name["union(FP,TR)"][2] <= by_name["AG-FP"][2] + 0.5

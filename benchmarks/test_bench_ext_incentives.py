@@ -1,0 +1,105 @@
+"""EXT-4: the economics of the defence — Sybil profit per payment scheme.
+
+The paper motivates the rapacious attacker with rewards; this bench
+quantifies the money.  On the paper scenario, the attackers' combined
+take is computed under (a) account-level weight-proportional payments on
+plain CRH and (b) group-level payments on the framework (TD-TR grouping),
+for both attacker postures (malicious constant-lie and rapacious replay).
+
+Expected shape: under (a) the attackers collect a multiple of their fair
+single-user share; under (b) their take collapses toward one share each —
+duplication stops paying, the outcome the Sybil-proof-incentive line of
+work (the paper's refs. [12, 13]) aims for.
+"""
+
+import numpy as np
+from _util import record, run_once
+
+from repro.core.crh import CRH
+from repro.core.framework import SybilResistantTruthDiscovery
+from repro.core.grouping import TrajectoryGrouper
+from repro.experiments.reporting import render_table
+from repro.incentives.payments import (
+    group_level_payments,
+    proportional_payments,
+    sybil_profit,
+)
+from repro.simulation.attackers import (
+    AttackerConfig,
+    ConstantFabrication,
+    ReplayFabrication,
+)
+from repro.simulation.scenario import ScenarioConfig, build_scenario
+from repro.simulation.users import UserConfig
+
+SEEDS = (71, 72, 73)
+
+
+def _config(fabrication) -> ScenarioConfig:
+    return ScenarioConfig(
+        n_tasks=10,
+        legit_users=tuple(UserConfig(activeness=0.5) for _ in range(8)),
+        attackers=(
+            (AttackerConfig(n_accounts=5, activeness=0.8, fabrication=fabrication), 1),
+            (AttackerConfig(n_accounts=5, activeness=0.8, fabrication=fabrication), 2),
+        ),
+    )
+
+
+def _run():
+    rows = []
+    postures = {
+        "malicious (-50 dBm lie)": ConstantFabrication(target=-50.0),
+        "rapacious (replay)": ReplayFabrication(per_copy_jitter=0.3),
+    }
+    for label, fabrication in postures.items():
+        naive_take, defended_take, fair = [], [], []
+        for seed in SEEDS:
+            scenario = build_scenario(
+                _config(fabrication), np.random.default_rng(seed)
+            )
+            naive = proportional_payments(
+                scenario.dataset, CRH().discover(scenario.dataset), 1.0
+            )
+            framework = SybilResistantTruthDiscovery(TrajectoryGrouper())
+            defended = group_level_payments(
+                scenario.dataset, framework.discover(scenario.dataset), 1.0
+            )
+            naive_take.append(sybil_profit(naive, scenario.sybil_accounts))
+            defended_take.append(
+                sybil_profit(defended, scenario.sybil_accounts)
+            )
+            # Fair reference: total budget split by physical users (10).
+            fair.append(naive.total_paid * (2 / 10))
+        rows.append(
+            [
+                label,
+                float(np.mean(naive_take)),
+                float(np.mean(defended_take)),
+                float(np.mean(fair)),
+            ]
+        )
+    return rows
+
+
+def test_bench_ext_incentives(benchmark):
+    rows = run_once(benchmark, _run)
+    record(
+        "ext4_incentives",
+        render_table(
+            [
+                "attacker posture",
+                "profit, plain TD",
+                "profit, framework",
+                "fair 2-user share",
+            ],
+            rows,
+            precision=2,
+            title="EXT-4 — Sybil profit under the two payment schemes",
+        ),
+    )
+    for _, naive, defended, fair in rows:
+        # Plain TD overpays the attackers; the framework pulls their take
+        # to (or below) the fair two-user share.
+        assert defended < naive
+        assert defended <= fair * 1.5

@@ -1,0 +1,118 @@
+"""EXT-3: large-scale Sybil attack — scaling the population up.
+
+The paper runs 18 accounts and argues the result "can still represent the
+scenario when an MCS system is under a large scale of the Sybil attack
+since the percentage of the Sybil accounts is larger than that of the
+legitimate users".  This bench checks that claim computationally: it
+scales the campaign to 40 legitimate users and up to 8 attackers
+(one half Attack-I, one half Attack-II; 5 accounts each → up to 50%
+Sybil accounts) over 25 tasks and reports CRH vs. TD-TR MAE plus the
+grouping's detection precision/recall.
+"""
+
+import numpy as np
+from _util import record, run_once
+
+from repro.core.crh import CRH
+from repro.core.framework import SybilResistantTruthDiscovery
+from repro.core.grouping import TrajectoryGrouper
+from repro.experiments.reporting import render_table
+from repro.metrics.accuracy import mean_absolute_error
+from repro.metrics.detection import detection_report
+from repro.simulation.attackers import AttackerConfig, ConstantFabrication
+from repro.simulation.scenario import ScenarioConfig, build_scenario
+from repro.simulation.users import UserConfig
+
+ATTACKER_COUNTS = (1, 2, 4, 8)
+SEEDS = (61, 62)
+
+
+def _config(n_attackers: int) -> ScenarioConfig:
+    attackers = []
+    for index in range(n_attackers):
+        attackers.append(
+            (
+                AttackerConfig(
+                    n_accounts=5,
+                    activeness=0.6,
+                    fabrication=ConstantFabrication(
+                        target=-52.0 + 2.0 * index  # distinct targets
+                    ),
+                ),
+                1 if index % 2 == 0 else 2,
+            )
+        )
+    return ScenarioConfig(
+        n_tasks=25,
+        legit_users=tuple(UserConfig(activeness=0.4) for _ in range(40)),
+        attackers=tuple(attackers),
+        start_window=4 * 3600.0,
+    )
+
+
+def _run():
+    rows = []
+    for n_attackers in ATTACKER_COUNTS:
+        crh_maes, tdtr_maes, precisions, recalls = [], [], [], []
+        for seed in SEEDS:
+            scenario = build_scenario(
+                _config(n_attackers), np.random.default_rng(seed)
+            )
+            crh_maes.append(
+                mean_absolute_error(
+                    CRH().discover(scenario.dataset).truths,
+                    scenario.ground_truths,
+                )
+            )
+            grouping = TrajectoryGrouper().group(scenario.dataset)
+            result = SybilResistantTruthDiscovery().discover(
+                scenario.dataset, grouping=grouping
+            )
+            tdtr_maes.append(
+                mean_absolute_error(result.truths, scenario.ground_truths)
+            )
+            report = detection_report(grouping, scenario.sybil_accounts)
+            precisions.append(report.precision)
+            recalls.append(report.recall)
+        sybil_share = 5 * n_attackers / (40 + 5 * n_attackers)
+        rows.append(
+            [
+                n_attackers,
+                f"{sybil_share:.0%}",
+                float(np.mean(crh_maes)),
+                float(np.mean(tdtr_maes)),
+                float(np.mean(precisions)),
+                float(np.mean(recalls)),
+            ]
+        )
+    return rows
+
+
+def test_bench_ext_scale(benchmark):
+    rows = run_once(benchmark, _run)
+    record(
+        "ext3_scale",
+        render_table(
+            [
+                "attackers",
+                "sybil accounts",
+                "CRH MAE",
+                "TD-TR MAE",
+                "detect precision",
+                "detect recall",
+            ],
+            rows,
+            precision=2,
+            title="EXT-3 — scaling the Sybil attack (40 legit users, 25 tasks)",
+        ),
+    )
+    for row in rows:
+        n_attackers, _, crh_mae, tdtr_mae, precision, recall = row
+        assert tdtr_mae < crh_mae
+        assert recall > 0.9
+    # CRH degrades as the Sybil share grows; TD-TR degrades far slower
+    # (relative growth at least 2x smaller).
+    assert rows[-1][2] > rows[0][2]
+    crh_growth = rows[-1][2] / rows[0][2]
+    tdtr_growth = rows[-1][3] / rows[0][3]
+    assert tdtr_growth < crh_growth / 2

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 2 (AG-FP example, 3 phones x 5 fingerprints).
+
+Paper shape: distinct-model phones form separable clouds in PC space and
+k-means at k=3 groups them well (the paper shows a handful of strays).
+"""
+
+from _util import record, run_once
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_bench_fig2(benchmark):
+    result = run_once(benchmark, run_fig2)
+    record("fig2", result.render())
+    assert result.ari > 0.5

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 3 (AG-TS walkthrough on the Table III data).
+
+Paper shape: the attacker trio {4', 4'', 4'''} lands in one group.  (With
+Eq. 6 implemented literally, account 1 — a false positive in the paper's
+own illustration — stays separate; see EXPERIMENTS.md.)
+"""
+
+from _util import record, run_once
+
+from repro.experiments.fig3 import run_fig3
+
+
+def test_bench_fig3(benchmark):
+    result = run_once(benchmark, run_fig3)
+    record("fig3", result.render())
+    groups = {frozenset(g) for g in result.grouping.groups}
+    assert frozenset({"4'", "4''", "4'''"}) in groups

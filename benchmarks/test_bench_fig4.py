@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 4 (AG-TR walkthrough on the Table III data).
+
+Paper shape: grouping {4', 4'', 4'''}, {1}, {2}, {3} — the attacker is
+isolated with no false positives, and the DTW(X) matrix matches the
+paper's printed values exactly.
+"""
+
+from _util import record, run_once
+
+from repro.experiments.fig4 import run_fig4
+
+
+def test_bench_fig4(benchmark):
+    result = run_once(benchmark, run_fig4)
+    record("fig4", result.render())
+    groups = {frozenset(g) for g in result.grouping.groups}
+    assert groups == {
+        frozenset({"4'", "4''", "4'''"}),
+        frozenset({"1"}),
+        frozenset({"2"}),
+        frozenset({"3"}),
+    }

@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 5 (the experimental-setup POI map).
+
+Paper content: a campus map marking the 10 Wi-Fi measurement POIs.  The
+simulated counterpart renders the generated world the Fig. 6/7 sweeps
+walk, with per-POI ground truths and a sample route.
+"""
+
+from _util import record, run_once
+
+from repro.experiments.fig5 import run_fig5
+
+
+def test_bench_fig5(benchmark):
+    result = run_once(benchmark, run_fig5)
+    record("fig5", result.render())
+    assert len(result.world.tasks) == 10
+    assert sorted(result.sample_route) == sorted(result.world.task_ids)

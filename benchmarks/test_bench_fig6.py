@@ -1,0 +1,29 @@
+"""Bench: regenerate Fig. 6 (ARI of AG-FP / AG-TS / AG-TR).
+
+Paper shapes asserted: AG-TR is the strongest method overall; AG-TS and
+AG-TR improve as the Sybil attackers get more active (more trajectory and
+task-set evidence); AG-FP sits at a roughly activeness-independent level
+set by same-model fingerprint collisions.
+"""
+
+import numpy as np
+from _util import record, run_once
+
+from repro.experiments.fig6 import run_fig6
+
+
+def test_bench_fig6(benchmark):
+    result = run_once(benchmark, lambda: run_fig6(n_trials=3))
+    record("fig6", result.render())
+
+    for legit, cells in result.panels.items():
+        mean = lambda method: float(
+            np.mean([cell.ari[method][0] for cell in cells])
+        )
+        # AG-TR is the best grouping method on average in every panel.
+        assert mean("AG-TR") >= mean("AG-TS") - 0.05
+        assert mean("AG-TR") >= mean("AG-FP") - 0.05
+        # AG-TS gains from more active attackers (low -> high sybil
+        # activeness) whenever legitimate task sets leave it any signal.
+        if legit < 1.0:
+            assert cells[-1].ari["AG-TS"][0] >= cells[0].ari["AG-TS"][0]

@@ -1,0 +1,30 @@
+"""Bench: regenerate Fig. 7 (MAE of CRH vs. TD-FP / TD-TS / TD-TR).
+
+Paper shapes asserted: CRH's error grows with Sybil activeness and shrinks
+with legitimate activeness; TD-TR beats CRH everywhere; TD-TR is the best
+framework variant overall.
+"""
+
+import numpy as np
+from _util import record, run_once
+
+from repro.experiments.fig7 import run_fig7
+
+
+def test_bench_fig7(benchmark):
+    result = run_once(benchmark, lambda: run_fig7(n_trials=3))
+    record("fig7", result.render())
+
+    panel_means = {}
+    for legit, cells in result.panels.items():
+        crh = [cell.crh_mae[0] for cell in cells]
+        tdtr = [cell.mae["AG-TR"][0] for cell in cells]
+        # CRH degrades as attackers get more active.
+        assert crh[-1] > crh[0]
+        # TD-TR beats CRH at every swept point.
+        assert all(t < c for t, c in zip(tdtr, crh))
+        panel_means[legit] = float(np.mean(crh))
+
+    # More legitimate data -> lower CRH error (panel-level trend).
+    legits = sorted(panel_means)
+    assert panel_means[legits[-1]] < panel_means[legits[0]]

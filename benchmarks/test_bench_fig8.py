@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 8 (11-phone fingerprint centre map + Table IV).
+
+Paper shape: same-model phone centres nearly coincide in PC1/PC2 while
+different models separate clearly.
+"""
+
+from _util import record, run_once
+
+from repro.experiments.fig8 import run_fig8
+
+
+def test_bench_fig8(benchmark):
+    result = run_once(benchmark, run_fig8)
+    record("fig8", result.render())
+    assert len(result.centers) == 11
+    assert result.cross_model_distance > 4 * result.same_model_distance

@@ -1,0 +1,95 @@
+"""PERF-2: convergence behaviour of the iterative engines.
+
+The paper leaves the convergence criterion open ("based on
+applications"); this bench records how many weight/truth iterations CRH
+and the framework actually need at tolerance 1e-6, with and without the
+Sybil attack, plus how the truth trajectory settles (the largest step
+size after 1, 3, and 5 iterations).  Fast, geometric convergence is what
+makes the fixed-iteration policies of the literature safe.
+"""
+
+import numpy as np
+from _util import record, run_once
+
+from repro.core.crh import CRH
+from repro.core.framework import SybilResistantTruthDiscovery
+from repro.core.grouping import TrajectoryGrouper
+from repro.experiments.reporting import render_table
+from repro.simulation.scenario import PaperScenarioConfig, build_scenario
+
+SEEDS = (201, 202, 203, 204, 205)
+
+
+def _step_sizes(history):
+    """Largest truth movement between consecutive recorded iterations."""
+    steps = []
+    for before, after in zip(history, history[1:]):
+        steps.append(max(abs(b - a) for a, b in zip(before, after)))
+    return steps
+
+
+def _run():
+    rows = []
+    crh_iters, framework_iters = [], []
+    crh_clean_iters = []
+    step_profile = np.zeros(3)
+    counted = 0
+    for seed in SEEDS:
+        scenario = build_scenario(
+            PaperScenarioConfig(sybil_activeness=0.8),
+            np.random.default_rng(seed),
+        )
+        attacked = CRH().discover(scenario.dataset)
+        clean = CRH().discover(scenario.clean_dataset())
+        framework = SybilResistantTruthDiscovery(TrajectoryGrouper()).discover(
+            scenario.dataset
+        )
+        crh_iters.append(attacked.iterations)
+        crh_clean_iters.append(clean.iterations)
+        framework_iters.append(framework.iterations)
+        steps = _step_sizes(attacked.truth_history)
+        for index in range(3):
+            if index < len(steps):
+                step_profile[index] += steps[index]
+        counted += 1
+    step_profile /= counted
+    rows.append(["CRH (clean)", float(np.mean(crh_clean_iters)), "", "", ""])
+    rows.append(
+        [
+            "CRH (attacked)",
+            float(np.mean(crh_iters)),
+            float(step_profile[0]),
+            float(step_profile[1]),
+            float(step_profile[2]),
+        ]
+    )
+    rows.append(
+        ["framework TD-TR", float(np.mean(framework_iters)), "", "", ""]
+    )
+    return rows
+
+
+def test_bench_perf_convergence(benchmark):
+    rows = run_once(benchmark, _run)
+    record(
+        "perf2_convergence",
+        render_table(
+            [
+                "engine",
+                "iterations to 1e-6",
+                "step after it.1",
+                "it.2",
+                "it.3",
+            ],
+            rows,
+            precision=3,
+            title="PERF-2 — convergence behaviour (5 seeds, sybil act. 0.8)",
+        ),
+    )
+    by_engine = {row[0]: row for row in rows}
+    # Everything converges well inside the default 100-iteration budget.
+    for row in rows:
+        assert row[1] < 60
+    # The step sizes shrink monotonically (geometric settling).
+    attacked = by_engine["CRH (attacked)"]
+    assert attacked[2] >= attacked[3] >= attacked[4] >= 0

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table I (CRH with vs. without the Sybil attack).
+
+Paper shape: the attacked estimates for T1/T3/T4 collapse toward the
+fabricated −50 dBm while T2 stays at the honest aggregate.
+"""
+
+from _util import record, run_once
+
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1(benchmark):
+    result = run_once(benchmark, run_table1)
+    record("table1", result.render())
+    for task in ("T1", "T3", "T4"):
+        assert result.attack_shift[task] > 15.0
+    assert result.attack_shift["T2"] < 6.0

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Attack study: how bad can a Sybil attacker make it, and what helps?
+
+A red-team view of the system.  For a grid of attacker strengths (number
+of accounts x activeness), this script measures how far plain CRH can be
+dragged from the truth and how much of that damage each defence removes.
+It also contrasts the two fabrication postures:
+
+* a blatant attacker (constant -50 dBm lie) — maximally damaging,
+  maximally detectable;
+* a subtle attacker (truth + 10 dBm offset) — less damaging per task but
+  harder to spot from the values alone.  The grouping methods catch it
+  anyway because they never look at the values.
+
+Run with::
+
+    python examples/attack_study.py
+"""
+
+import numpy as np
+
+from repro import CRH, SybilResistantTruthDiscovery, TrajectoryGrouper, mean_absolute_error
+from repro.simulation import (
+    AttackerConfig,
+    ConstantFabrication,
+    OffsetFabrication,
+    ScenarioConfig,
+    UserConfig,
+    build_scenario,
+)
+
+
+def run_point(n_accounts, activeness, fabrication, seed=5):
+    rng = np.random.default_rng(seed)
+    config = ScenarioConfig(
+        n_tasks=10,
+        legit_users=tuple(UserConfig(activeness=0.5) for _ in range(8)),
+        attackers=(
+            (
+                AttackerConfig(
+                    n_accounts=n_accounts,
+                    activeness=activeness,
+                    fabrication=fabrication,
+                ),
+                2,  # Attack-II: two devices, so AG-FP alone cannot win
+            ),
+        ),
+    )
+    scenario = build_scenario(config, rng)
+    crh_mae = mean_absolute_error(
+        CRH().discover(scenario.dataset).truths, scenario.ground_truths
+    )
+    defended = SybilResistantTruthDiscovery(TrajectoryGrouper()).discover(
+        scenario.dataset
+    )
+    defended_mae = mean_absolute_error(defended.truths, scenario.ground_truths)
+    return crh_mae, defended_mae
+
+
+def main() -> None:
+    print("Attacker strength sweep (constant -50 dBm fabrication):")
+    print(f"{'accounts':>9s} {'activeness':>11s} {'CRH MAE':>9s} "
+          f"{'TD-TR MAE':>10s} {'damage removed':>15s}")
+    for n_accounts in (2, 5, 10):
+        for activeness in (0.3, 0.6, 1.0):
+            crh, defended = run_point(
+                n_accounts, activeness, ConstantFabrication(target=-50.0)
+            )
+            removed = (1 - defended / crh) if crh > 0 else 0.0
+            print(
+                f"{n_accounts:9d} {activeness:11.1f} {crh:9.2f} "
+                f"{defended:10.2f} {removed:14.0%}"
+            )
+
+    print("\nFabrication posture (5 accounts, activeness 0.6):")
+    for label, fabrication in (
+        ("blatant: constant -50 dBm", ConstantFabrication(target=-50.0)),
+        ("subtle:  truth + 10 dBm", OffsetFabrication(offset=10.0)),
+    ):
+        crh, defended = run_point(5, 0.6, fabrication)
+        print(f"  {label:28s} CRH {crh:6.2f}  ->  TD-TR {defended:6.2f}")
+
+    print(
+        "\nTakeaway: the attacker's damage to CRH grows with accounts and\n"
+        "activeness, while the trajectory-grouped framework holds the MAE\n"
+        "near the no-attack level — and catches the subtle attacker too,\n"
+        "because grouping keys on behaviour, not on the submitted values."
+    )
+
+
+if __name__ == "__main__":
+    main()

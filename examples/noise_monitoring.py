@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Urban noise monitoring: adapting the framework to a different domain.
+
+The paper motivates MCS with applications like participatory noise
+mapping (Ear-Phone, its reference [23]).  This example shows the library
+is not Wi-Fi-specific: a city publishes noise-level tasks (dBA) across
+districts, citizens submit honest-but-noisy readings, and a *rapacious*
+Sybil attacker — one who duplicates its single honest measurement through
+many accounts to farm rewards, rather than fabricating — joins in.
+
+Two lessons this scenario teaches:
+
+* a replay attacker barely shifts the truth (its copies are honest-ish),
+  but it *inflates confidence* and would collect multiple rewards — the
+  grouping still detects it, which is what a reward-paying platform needs;
+* the same grouping methods work unchanged on a completely different
+  measurement domain, because they only look at task sets, timing, and
+  device fingerprints — never at the sensing values.
+
+Run with::
+
+    python examples/noise_monitoring.py
+"""
+
+import numpy as np
+
+from repro import CRH, SybilResistantTruthDiscovery, TrajectoryGrouper, mean_absolute_error
+from repro.simulation import (
+    AttackerConfig,
+    ReplayFabrication,
+    ScenarioConfig,
+    UserConfig,
+    build_scenario,
+)
+from repro.simulation.scenario import PaperScenarioConfig  # noqa: F401  (docs)
+from repro.simulation.world import make_wifi_world  # noqa: F401  (docs)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2024)
+
+    # 20 noise-measurement tasks; 12 citizens with mixed diligence; one
+    # reward-farming replay attacker with 6 accounts on one phone.
+    config = ScenarioConfig(
+        n_tasks=20,
+        legit_users=tuple(
+            UserConfig(
+                activeness=float(rng.uniform(0.3, 0.9)),
+                noise_std=float(rng.uniform(1.0, 4.0)),
+            )
+            for _ in range(12)
+        ),
+        attackers=(
+            (
+                AttackerConfig(
+                    n_accounts=6,
+                    activeness=0.7,
+                    fabrication=ReplayFabrication(per_copy_jitter=0.3),
+                ),
+                1,
+            ),
+        ),
+    )
+    scenario = build_scenario(config, rng)
+    # Reinterpret the synthetic ground truths as dBA levels; the
+    # algorithms never see units, only numbers.
+    print("Noise-mapping campaign:")
+    print(f"  tasks: {len(scenario.dataset.tasks)}  "
+          f"accounts: {len(scenario.dataset.accounts)}  "
+          f"observations: {len(scenario.dataset)}")
+
+    crh = CRH().discover(scenario.dataset)
+    crh_mae = mean_absolute_error(crh.truths, scenario.ground_truths)
+
+    grouper = TrajectoryGrouper()
+    grouping = grouper.group(scenario.dataset)
+    framework_result = SybilResistantTruthDiscovery(grouper).discover(
+        scenario.dataset
+    )
+    framework_mae = mean_absolute_error(
+        framework_result.truths, scenario.ground_truths
+    )
+
+    print(f"\nCRH MAE:        {crh_mae:.2f}")
+    print(f"Framework MAE:  {framework_mae:.2f}")
+    print(
+        "\nA replay attacker barely biases the truth, so the MAEs are "
+        "close.\nThe defence shows up in the *grouping* — the platform can "
+        "now pay one\nreward instead of six:"
+    )
+    suspicious = grouping.non_singleton_groups()
+    for group in suspicious:
+        members = ", ".join(sorted(group))
+        flagged = group & scenario.sybil_accounts
+        print(f"  suspicious group: {{{members}}}  "
+              f"({len(flagged)}/{len(group)} truly Sybil)")
+    caught = {account for group in suspicious for account in group}
+    recall = len(caught & scenario.sybil_accounts) / len(scenario.sybil_accounts)
+    print(f"\nSybil account recall: {recall:.0%}")
+
+
+if __name__ == "__main__":
+    main()

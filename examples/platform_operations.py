@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Platform operations: running the defence campaign after campaign.
+
+A one-shot framework run down-weights a Sybil attacker; a *platform*
+accumulates evidence across campaigns: reputations drift, suspicion
+strikes pile up, and repeat offenders get banned outright.  This example
+drives :class:`repro.platform.CrowdsensingPlatform` through four weekly
+campaigns with the same participant population (two Sybil attackers
+among ten users) and prints the operational ledger each week:
+
+* campaign accuracy (MAE),
+* who was flagged / newly banned,
+* the attackers' reward take,
+* reputation snapshots.
+
+Run with::
+
+    python examples/platform_operations.py
+"""
+
+import numpy as np
+
+from repro.core.grouping import TrajectoryGrouper
+from repro.incentives.payments import sybil_profit
+from repro.metrics.accuracy import mean_absolute_error
+from repro.platform import CrowdsensingPlatform
+from repro.simulation import PaperScenarioConfig, build_scenario
+
+
+def main() -> None:
+    platform = CrowdsensingPlatform(
+        TrajectoryGrouper(),
+        budget_per_task=1.0,
+        flag_threshold=2,       # two strikes and you're out
+        reputation_decay=0.6,
+    )
+
+    print(
+        f"{'week':>4s} {'MAE':>6s} {'flagged':>8s} {'banned now':>11s} "
+        f"{'excluded':>9s} {'sybil take':>11s}"
+    )
+    for week in range(1, 5):
+        scenario = build_scenario(
+            PaperScenarioConfig(sybil_activeness=0.8),
+            np.random.default_rng(100 + week),
+        )
+        outcome = platform.run_campaign(
+            scenario.dataset, scenario.fingerprints
+        )
+        mae = mean_absolute_error(outcome.truths, scenario.ground_truths)
+        take = sybil_profit(outcome.payments, scenario.sybil_accounts)
+        print(
+            f"{week:4d} {mae:6.2f} {len(outcome.flagged):8d} "
+            f"{len(outcome.newly_banned):11d} {len(outcome.excluded):9d} "
+            f"{take:11.2f}"
+        )
+
+    print("\nFinal reputations (EWMA of normalized source weights):")
+    for account, reputation in sorted(
+        platform.reputations.items(), key=lambda kv: -kv[1]
+    ):
+        marker = "  <- banned" if account in platform.banned_accounts else ""
+        print(f"  {account:8s} {reputation:6.3f}{marker}")
+
+    print(
+        f"\nBanned after 4 weeks: {sorted(platform.banned_accounts)}\n"
+        "Week 1 flags both attackers; week 2's repeat evidence bans their\n"
+        "accounts; weeks 3-4 run on honest data only — MAE drops to the\n"
+        "clean level and the attackers' reward take goes to zero."
+    )
+
+
+if __name__ == "__main__":
+    main()

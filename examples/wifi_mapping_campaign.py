@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Wi-Fi mapping campaign: the paper's full experiment, end to end.
+
+Simulates Section V-A's setup — 10 Wi-Fi POIs on a campus, 8 legitimate
+volunteers, and two Sybil attackers with 5 accounts each (one Attack-I on
+a single iPhone 6S, one Attack-II across an iPhone SE and a Nexus 6P) —
+then compares all four methods of Fig. 7:
+
+* plain CRH (no defence),
+* TD-FP (framework + device-fingerprint grouping),
+* TD-TS (framework + task-set grouping),
+* TD-TR (framework + trajectory grouping),
+
+reporting grouping quality (ARI) and aggregation accuracy (MAE).
+
+Run with::
+
+    python examples/wifi_mapping_campaign.py [seed]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    CRH,
+    FingerprintGrouper,
+    SybilResistantTruthDiscovery,
+    TaskSetGrouper,
+    TrajectoryGrouper,
+    mean_absolute_error,
+)
+from repro.ml.metrics import adjusted_rand_index
+from repro.simulation import PaperScenarioConfig, build_scenario
+
+
+def main(seed: int = 7) -> None:
+    rng = np.random.default_rng(seed)
+    scenario = build_scenario(
+        PaperScenarioConfig(legit_activeness=0.5, sybil_activeness=0.8), rng
+    )
+
+    print(f"Campaign realized (seed {seed}):")
+    print(f"  tasks:            {len(scenario.dataset.tasks)}")
+    print(f"  accounts:         {len(scenario.dataset.accounts)}")
+    print(f"  Sybil accounts:   {len(scenario.sybil_accounts)}")
+    print(f"  observations:     {len(scenario.dataset)}")
+    print(f"  physical devices: {len(set(scenario.device_by_account.values()))}")
+
+    # The reference points: CRH on clean data (the best anyone could do)
+    # and CRH on attacked data (what the paper shows is broken).
+    clean_mae = mean_absolute_error(
+        CRH().discover(scenario.clean_dataset()).truths, scenario.ground_truths
+    )
+    crh_mae = mean_absolute_error(
+        CRH().discover(scenario.dataset).truths, scenario.ground_truths
+    )
+    print(f"\nCRH without the attack (reference): MAE = {clean_mae:.2f} dBm")
+    print(f"CRH under the attack:               MAE = {crh_mae:.2f} dBm")
+
+    groupers = {
+        "TD-FP": FingerprintGrouper(),
+        "TD-TS": TaskSetGrouper(),
+        "TD-TR": TrajectoryGrouper(),
+    }
+    order = scenario.dataset.accounts
+    truth_labels = scenario.user_partition.as_labels(order)
+
+    print(f"\n{'method':8s} {'ARI':>6s} {'groups':>7s} {'MAE (dBm)':>10s}")
+    for name, grouper in groupers.items():
+        grouping = grouper.group(scenario.dataset, scenario.fingerprints)
+        ari = adjusted_rand_index(
+            truth_labels, grouping.restricted_to(order).as_labels(order)
+        )
+        result = SybilResistantTruthDiscovery(grouper).discover(
+            scenario.dataset, scenario.fingerprints
+        )
+        mae = mean_absolute_error(result.truths, scenario.ground_truths)
+        print(f"{name:8s} {ari:6.3f} {len(grouping):7d} {mae:10.2f}")
+
+    print(
+        "\nExpected shape (paper, Fig. 7): every TD-* beats plain CRH, and "
+        "TD-TR\nis the strongest because trajectories expose both attack types."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 7)

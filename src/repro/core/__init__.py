@@ -1,0 +1,79 @@
+"""The paper's primary contribution: truth discovery under Sybil attack.
+
+Public surface:
+
+* data model — :class:`~repro.core.types.Task`,
+  :class:`~repro.core.types.Observation`,
+  :class:`~repro.core.types.Grouping`,
+  :class:`~repro.core.dataset.SensingDataset`;
+* classical truth discovery (Algorithm 1) — :class:`~repro.core.crh.CRH`
+  and the baselines of :mod:`repro.core.baselines`;
+* the Sybil-resistant framework (Algorithm 2) —
+  :class:`~repro.core.framework.SybilResistantTruthDiscovery`;
+* account grouping — :mod:`repro.core.grouping` (AG-FP, AG-TS, AG-TR and
+  the combined extension).
+"""
+
+from repro.core.baselines import CATD, GTM, MeanAggregator, MedianAggregator
+from repro.core.categorical import (
+    CategoricalClaims,
+    CategoricalResult,
+    CategoricalTruthDiscovery,
+)
+from repro.core.crh import CRH
+from repro.core.dataset import SensingDataset
+from repro.core.framework import (
+    GROUP_AGGREGATIONS,
+    FrameworkResult,
+    SybilResistantTruthDiscovery,
+)
+from repro.core.streaming import StreamingTruthDiscovery, replay_dataset
+from repro.core.grouping import (
+    AccountGrouper,
+    CombinedGrouper,
+    FingerprintGrouper,
+    TaskSetGrouper,
+    TrajectoryGrouper,
+)
+from repro.core.truth_discovery import (
+    ConvergencePolicy,
+    IterativeTruthDiscovery,
+    TruthDiscoveryResult,
+    crh_log_weights,
+    exponential_weights,
+    reciprocal_weights,
+)
+from repro.core.types import AccountId, Grouping, Observation, Task, TaskId
+
+__all__ = [
+    "CATD",
+    "CRH",
+    "CategoricalClaims",
+    "CategoricalResult",
+    "CategoricalTruthDiscovery",
+    "GTM",
+    "GROUP_AGGREGATIONS",
+    "AccountGrouper",
+    "AccountId",
+    "CombinedGrouper",
+    "ConvergencePolicy",
+    "FingerprintGrouper",
+    "FrameworkResult",
+    "Grouping",
+    "IterativeTruthDiscovery",
+    "MeanAggregator",
+    "MedianAggregator",
+    "Observation",
+    "SensingDataset",
+    "StreamingTruthDiscovery",
+    "SybilResistantTruthDiscovery",
+    "Task",
+    "TaskId",
+    "TaskSetGrouper",
+    "TrajectoryGrouper",
+    "TruthDiscoveryResult",
+    "crh_log_weights",
+    "exponential_weights",
+    "reciprocal_weights",
+    "replay_dataset",
+]

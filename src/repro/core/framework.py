@@ -1,0 +1,334 @@
+"""The Sybil-resistant truth discovery framework (Algorithm 2).
+
+The framework wraps any truth-discovery weight functional with an account
+grouping front-end:
+
+1. **Account grouping** — an :class:`~repro.core.grouping.base.AccountGrouper`
+   partitions accounts into groups ``G`` (one group ≈ one physical user).
+2. **Data grouping** — for each task, the submissions of a group collapse
+   into a single value ``d~_j^k`` (Eq. 3) so a Sybil attacker contributes
+   *one* datum per task no matter how many accounts it used.  Each group
+   gets an initial per-task weight ``w~_k = 1 - |g_k| / |U_j|`` (Eq. 4):
+   the more accounts a group burned on a task, the less it is trusted.
+3. **Initialization** — iteration-0 truths are the Eq. 4-weighted group
+   averages (Eq. 5) rather than random guesses.
+4. **Iteration** — group weight estimation (the CRH-style functional of
+   Eq. 1 applied to group-level data) alternates with truth estimation
+   (Eq. 2 over groups) until convergence.
+
+Eq. 3 as printed in the paper is degenerate — its denominator
+``sum_i (d_j^i - dbar_j^k)`` is identically zero because deviations from
+the arithmetic mean cancel.  We implement the evident intent as the
+*deviation-penalized* weighted mean (weights ``1 / (|d - dbar| + eps)``),
+which matches the paper's own description of the mixed-group case ("the
+aggregated data for the group will be close to the average of the data
+submitted by both legitimate users and Sybil attackers").  The strategy is
+pluggable; see :data:`GROUP_AGGREGATIONS` and the ABL-1 bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._nputil import nanstd_quiet
+from repro.core.dataset import SensingDataset
+from repro.core.grouping.base import AccountGrouper
+from repro.core.truth_discovery import (
+    ConvergencePolicy,
+    TruthDiscoveryResult,
+    WeightFunction,
+    crh_log_weights,
+)
+from repro.core.types import Grouping, TaskId
+from repro.errors import ConvergenceError, DataValidationError
+
+_EPS = 1e-12
+
+#: A group-aggregation strategy maps the values one group submitted for
+#: one task to a single representative value.
+GroupAggregation = Callable[[np.ndarray], float]
+
+
+def aggregate_inverse_deviation(values: np.ndarray) -> float:
+    """Eq. 3 (repaired): mean weighted by inverse deviation from the mean.
+
+    Claims close to the group's own consensus dominate; an outlier inside
+    the group is damped.  For one or two claims, or a constant group, this
+    reduces to the arithmetic mean.
+    """
+    values = np.asarray(values, dtype=float)
+    if len(values) == 1:
+        return float(values[0])
+    center = values.mean()
+    weights = 1.0 / (np.abs(values - center) + _EPS)
+    # A constant group makes every weight equal (1/eps); the weighted mean
+    # is then exactly the common value.
+    return float((weights * values).sum() / weights.sum())
+
+
+def aggregate_mean(values: np.ndarray) -> float:
+    """Arithmetic mean of the group's claims."""
+    return float(np.asarray(values, dtype=float).mean())
+
+
+def aggregate_median(values: np.ndarray) -> float:
+    """Median of the group's claims (robust to one wild account)."""
+    return float(np.median(np.asarray(values, dtype=float)))
+
+
+#: Named registry of group-aggregation strategies (ABL-1 sweeps these).
+GROUP_AGGREGATIONS: Dict[str, GroupAggregation] = {
+    "inverse_deviation": aggregate_inverse_deviation,
+    "mean": aggregate_mean,
+    "median": aggregate_median,
+}
+
+
+@dataclass(frozen=True)
+class FrameworkResult:
+    """Everything Algorithm 2 produced, beyond the plain TD result.
+
+    Attributes
+    ----------
+    truths:
+        Final estimated truth per answered task.
+    grouping:
+        The account partition used (projected onto dataset accounts).
+    group_values:
+        ``{task_id: {group_index: d~_j^k}}`` — the grouped data (Eq. 3).
+    initial_group_weights:
+        ``{task_id: {group_index: w~_k}}`` — the Eq. 4 weights used for
+        initialization.
+    group_weights:
+        Final iterated weight per group index.
+    iterations, converged, truth_history:
+        Convergence diagnostics, as in
+        :class:`~repro.core.truth_discovery.TruthDiscoveryResult`.
+    """
+
+    truths: Mapping[TaskId, float]
+    grouping: Grouping
+    group_values: Mapping[TaskId, Mapping[int, float]]
+    initial_group_weights: Mapping[TaskId, Mapping[int, float]]
+    group_weights: Mapping[int, float]
+    iterations: int
+    converged: bool
+    truth_history: Tuple[Tuple[float, ...], ...] = field(default=())
+
+    def as_truth_discovery_result(self) -> TruthDiscoveryResult:
+        """View as a plain TD result (weights keyed by group index)."""
+        return TruthDiscoveryResult(
+            truths=self.truths,
+            weights={str(k): v for k, v in self.group_weights.items()},
+            iterations=self.iterations,
+            converged=self.converged,
+            truth_history=self.truth_history,
+        )
+
+
+class SybilResistantTruthDiscovery:
+    """Algorithm 2: grouping-aware truth discovery.
+
+    Parameters
+    ----------
+    grouper:
+        The account grouping strategy (AG-FP / AG-TS / AG-TR / combined).
+        Alternatively pass a precomputed partition to :meth:`discover` and
+        the grouper is not consulted.
+    aggregation:
+        Group-aggregation strategy name (key of
+        :data:`GROUP_AGGREGATIONS`) or a callable.  Default
+        ``"inverse_deviation"`` — the repaired Eq. 3.
+    weight_function:
+        The monotonically decreasing functional for the group weight
+        update (Algorithm 2 line 10).  Default: CRH's log weights, making
+        the framework "a truth discovery algorithm similar to CRH" as in
+        the paper's evaluation.
+    convergence:
+        Stopping policy for the weight/truth loop.
+    """
+
+    def __init__(
+        self,
+        grouper: Optional[AccountGrouper] = None,
+        aggregation: object = "inverse_deviation",
+        weight_function: WeightFunction = crh_log_weights,
+        convergence: ConvergencePolicy = ConvergencePolicy(max_iterations=100),
+    ):
+        if callable(aggregation):
+            self._aggregate: GroupAggregation = aggregation  # type: ignore[assignment]
+        else:
+            try:
+                self._aggregate = GROUP_AGGREGATIONS[str(aggregation)]
+            except KeyError:
+                raise ValueError(
+                    f"unknown aggregation {aggregation!r}; "
+                    f"expected one of {sorted(GROUP_AGGREGATIONS)} or a callable"
+                ) from None
+        self._grouper = grouper
+        self._weight_function = weight_function
+        self._convergence = convergence
+
+    # ------------------------------------------------------------------
+
+    def discover(
+        self,
+        dataset: SensingDataset,
+        fingerprints: Optional[Sequence] = None,
+        grouping: Optional[Grouping] = None,
+    ) -> FrameworkResult:
+        """Run Algorithm 2.
+
+        Parameters
+        ----------
+        dataset:
+            The sensing data ``D``.
+        fingerprints:
+            The device fingerprints ``F`` (needed iff the grouper is
+            AG-FP or a combination including it).
+        grouping:
+            Optional precomputed partition; skips the grouping step.
+
+        Raises
+        ------
+        DataValidationError
+            If the dataset is empty, or no grouper *and* no grouping was
+            provided.
+        """
+        if len(dataset) == 0:
+            raise DataValidationError("cannot run the framework on an empty dataset")
+        if grouping is None:
+            if self._grouper is None:
+                raise DataValidationError(
+                    "either construct with a grouper or pass a grouping"
+                )
+            grouping = self._grouper.group(dataset, fingerprints)
+        grouping = AccountGrouper.complete(
+            grouping.restricted_to(dataset.accounts), dataset
+        )
+
+        group_values, initial_weights = self._group_data(dataset, grouping)
+        return self._iterate(dataset, grouping, group_values, initial_weights)
+
+    # ------------------------------------------------------------------
+
+    def _group_data(
+        self, dataset: SensingDataset, grouping: Grouping
+    ) -> Tuple[Dict[TaskId, Dict[int, float]], Dict[TaskId, Dict[int, float]]]:
+        """Algorithm 2 lines 2–6: per-task grouped values and Eq. 4 weights."""
+        group_values: Dict[TaskId, Dict[int, float]] = {}
+        initial_weights: Dict[TaskId, Dict[int, float]] = {}
+        for task_id in dataset.tasks:
+            claimants = dataset.accounts_for_task(task_id)
+            if not claimants:
+                continue
+            per_group: Dict[int, List[float]] = {}
+            for account in claimants:
+                per_group.setdefault(grouping.group_index_of(account), []).append(
+                    dataset.value(account, task_id)
+                )
+            values = {
+                gi: self._aggregate(np.asarray(vals)) for gi, vals in per_group.items()
+            }
+            total = len(claimants)
+            weights = {
+                gi: 1.0 - len(vals) / total for gi, vals in per_group.items()
+            }
+            group_values[task_id] = values
+            initial_weights[task_id] = weights
+        return group_values, initial_weights
+
+    def _iterate(
+        self,
+        dataset: SensingDataset,
+        grouping: Grouping,
+        group_values: Dict[TaskId, Dict[int, float]],
+        initial_weights: Dict[TaskId, Dict[int, float]],
+    ) -> FrameworkResult:
+        """Algorithm 2 lines 7–15: initialization and the weight/truth loop."""
+        tasks = [tid for tid in dataset.tasks if tid in group_values]
+        task_pos = {tid: j for j, tid in enumerate(tasks)}
+        n_groups = len(grouping)
+
+        # Dense (group, task) matrices of grouped values / answer masks.
+        values = np.full((n_groups, len(tasks)), np.nan)
+        for tid, per_group in group_values.items():
+            for gi, value in per_group.items():
+                values[gi, task_pos[tid]] = value
+        answered = ~np.isnan(values)
+
+        truths = self._initial_truths(tasks, group_values, initial_weights, values)
+
+        # Per-task spread of grouped values, for CRH-style normalization.
+        spreads = nanstd_quiet(np.where(answered, values, np.nan), axis=0)
+        spreads = np.where(np.isnan(spreads) | (spreads < _EPS), 1.0, spreads)
+
+        history: List[Tuple[float, ...]] = []
+        converged = False
+        iterations = 0
+        weights = np.ones(n_groups)
+        for iterations in range(1, self._convergence.max_iterations + 1):
+            # Group weight estimation (line 10): distance of each group's
+            # grouped data from the current truths, through W.
+            deviation = np.where(answered, values - truths[np.newaxis, :], 0.0)
+            distances = (deviation**2 / spreads[np.newaxis, :]).sum(axis=1)
+            weights = self._weight_function(distances)
+            # Truth estimation (line 13).
+            mass = (answered * weights[:, np.newaxis]).sum(axis=0)
+            weighted = (np.where(answered, values, 0.0) * weights[:, np.newaxis]).sum(axis=0)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                estimates = weighted / mass
+            new_truths = np.where(mass > 0, estimates, truths)
+            delta = float(np.max(np.abs(new_truths - truths))) if len(tasks) else 0.0
+            truths = new_truths
+            history.append(tuple(truths))
+            if delta < self._convergence.tolerance:
+                converged = True
+                break
+
+        if not converged and self._convergence.strict:
+            raise ConvergenceError(
+                f"framework did not converge in {self._convergence.max_iterations} iterations"
+            )
+
+        truth_map = {tid: float(truths[j]) for tid, j in task_pos.items()}
+        return FrameworkResult(
+            truths=truth_map,
+            grouping=grouping,
+            group_values={tid: dict(vals) for tid, vals in group_values.items()},
+            initial_group_weights={
+                tid: dict(ws) for tid, ws in initial_weights.items()
+            },
+            group_weights={gi: float(w) for gi, w in enumerate(weights)},
+            iterations=iterations,
+            converged=converged,
+            truth_history=tuple(history),
+        )
+
+    @staticmethod
+    def _initial_truths(
+        tasks: Sequence[TaskId],
+        group_values: Mapping[TaskId, Mapping[int, float]],
+        initial_weights: Mapping[TaskId, Mapping[int, float]],
+        dense_values: np.ndarray,
+    ) -> np.ndarray:
+        """Eq. 5: weighted group average, falling back to the plain mean.
+
+        The fallback covers the degenerate case where every claimant of a
+        task sits in one group: Eq. 4 then gives that group weight zero
+        and Eq. 5 is 0/0, so the group's aggregated value is the only
+        sensible estimate.
+        """
+        truths = np.empty(len(tasks))
+        for j, tid in enumerate(tasks):
+            values = group_values[tid]
+            weights = initial_weights[tid]
+            mass = sum(weights[gi] for gi in values)
+            if mass > _EPS:
+                truths[j] = sum(weights[gi] * values[gi] for gi in values) / mass
+            else:
+                truths[j] = float(np.mean(list(values.values())))
+        return truths

@@ -1,0 +1,51 @@
+"""Account grouping methods (Section IV-C).
+
+Account grouping partitions the observed accounts into groups that likely
+belong to one physical user each.  Three methods are proposed by the
+paper, each targeting a different attack surface:
+
+* :class:`~repro.core.grouping.fingerprint.FingerprintGrouper` (AG-FP) —
+  clusters device fingerprints; defends against Attack-I (one device,
+  many accounts);
+* :class:`~repro.core.grouping.taskset.TaskSetGrouper` (AG-TS) — affinity
+  of accomplished task sets; defends against Attack-II when accounts have
+  diverse task sets;
+* :class:`~repro.core.grouping.trajectory.TrajectoryGrouper` (AG-TR) — DTW
+  over task/timestamp series; defends against Attack-II even when task
+  sets collide, by exploiting timing.
+
+:class:`~repro.core.grouping.combined.CombinedGrouper` implements the
+paper's future-work idea of combining methods, and
+:mod:`repro.core.grouping.calibration` derives the thresholds ``rho`` and
+``phi`` from the data instead of leaving them manual knobs.
+"""
+
+from repro.core.grouping.base import AccountGrouper
+from repro.core.grouping.calibration import (
+    CalibrationResult,
+    auto_taskset_grouper,
+    auto_trajectory_grouper,
+    calibrate_taskset_threshold,
+    calibrate_trajectory_threshold,
+    largest_gap_threshold,
+)
+from repro.core.grouping.combined import CombinedGrouper
+from repro.core.grouping.fingerprint import FingerprintGrouper
+from repro.core.grouping.taskset import TaskSetGrouper, taskset_affinity_matrix
+from repro.core.grouping.trajectory import TrajectoryGrouper, trajectory_dissimilarity_matrix
+
+__all__ = [
+    "AccountGrouper",
+    "CalibrationResult",
+    "auto_taskset_grouper",
+    "auto_trajectory_grouper",
+    "calibrate_taskset_threshold",
+    "calibrate_trajectory_threshold",
+    "largest_gap_threshold",
+    "CombinedGrouper",
+    "FingerprintGrouper",
+    "TaskSetGrouper",
+    "TrajectoryGrouper",
+    "taskset_affinity_matrix",
+    "trajectory_dissimilarity_matrix",
+]

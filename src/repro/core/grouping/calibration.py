@@ -1,0 +1,191 @@
+"""Automatic threshold calibration for AG-TS and AG-TR.
+
+The paper's remarks leave the thresholds ``rho`` (task-set affinity) and
+``phi`` (trajectory dissimilarity) as deployment knobs that "depend on
+the tasks in an MCS system".  In practice an operator wants them derived
+from the data.  This module implements the natural unsupervised
+calibrator: **largest-gap splitting** of the pairwise score distribution.
+
+Rationale: Sybil pairs and honest pairs produce scores on different
+scales (Fig. 4: ≤0.003 vs ≥1.0 for trajectories — three orders of
+magnitude), so the sorted pairwise scores show one dominant gap between
+the "same user" cluster and the "different users" cloud.  Placing the
+threshold inside that gap separates the two populations without labels.
+
+The calibrators return both the threshold and diagnostics (the gap size
+relative to the score range), so callers can fall back to the paper's
+defaults when the data shows no convincing gap — e.g. a campaign with no
+Sybil attacker at all, where every pair is an honest pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.dataset import SensingDataset
+from repro.core.grouping.taskset import TaskSetGrouper, taskset_affinity_matrix
+from repro.core.grouping.trajectory import (
+    SECONDS_PER_HOUR,
+    TrajectoryGrouper,
+    trajectory_dissimilarity_matrix,
+)
+
+#: A gap must span at least this fraction of the score range to be
+#: considered evidence of two populations.
+DEFAULT_MIN_GAP_FRACTION = 0.2
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """A calibrated threshold plus the evidence it rests on.
+
+    Attributes
+    ----------
+    threshold:
+        The proposed threshold (``None`` when no convincing gap exists).
+    gap_fraction:
+        Size of the largest gap relative to the score range.
+    gap_low, gap_high:
+        The scores bounding the largest gap (threshold = their midpoint).
+    n_pairs:
+        Number of finite pairwise scores inspected.
+    """
+
+    threshold: Optional[float]
+    gap_fraction: float
+    gap_low: float
+    gap_high: float
+    n_pairs: int
+
+    @property
+    def confident(self) -> bool:
+        """Whether a threshold was found."""
+        return self.threshold is not None
+
+
+def largest_gap_threshold(
+    scores: np.ndarray,
+    min_gap_fraction: float = DEFAULT_MIN_GAP_FRACTION,
+) -> CalibrationResult:
+    """Place a threshold in the largest gap of a 1-D score sample.
+
+    Parameters
+    ----------
+    scores:
+        Finite pairwise scores (non-finite entries are dropped).
+    min_gap_fraction:
+        Minimum relative gap size to accept; below it the result carries
+        ``threshold=None`` (no two-population evidence).
+    """
+    flat = np.asarray(scores, dtype=float).ravel()
+    flat = flat[np.isfinite(flat)]
+    flat = np.unique(flat)
+    if len(flat) < 2:
+        return CalibrationResult(
+            threshold=None,
+            gap_fraction=0.0,
+            gap_low=float(flat[0]) if len(flat) else 0.0,
+            gap_high=float(flat[0]) if len(flat) else 0.0,
+            n_pairs=len(flat),
+        )
+    gaps = np.diff(flat)
+    score_range = float(flat[-1] - flat[0])
+    best = int(np.argmax(gaps))
+    gap_fraction = float(gaps[best] / score_range) if score_range > 0 else 0.0
+    low, high = float(flat[best]), float(flat[best + 1])
+    threshold = (low + high) / 2.0 if gap_fraction >= min_gap_fraction else None
+    return CalibrationResult(
+        threshold=threshold,
+        gap_fraction=gap_fraction,
+        gap_low=low,
+        gap_high=high,
+        n_pairs=len(flat),
+    )
+
+
+def calibrate_taskset_threshold(
+    dataset: SensingDataset,
+    min_gap_fraction: float = DEFAULT_MIN_GAP_FRACTION,
+) -> CalibrationResult:
+    """Calibrate AG-TS's ``rho`` from the affinity distribution.
+
+    Only positive affinities are inspected — negative ones mean "mostly
+    disjoint task sets" and always sit below any sensible ``rho``, so
+    including them would let the honest mass drown the gap.
+    """
+    _, affinity = taskset_affinity_matrix(dataset)
+    upper = affinity[np.triu_indices(len(affinity), k=1)]
+    return largest_gap_threshold(upper[upper > 0], min_gap_fraction)
+
+
+def calibrate_trajectory_threshold(
+    dataset: SensingDataset,
+    timestamp_scale: float = SECONDS_PER_HOUR,
+    min_gap_fraction: float = DEFAULT_MIN_GAP_FRACTION,
+) -> CalibrationResult:
+    """Calibrate AG-TR's ``phi`` from the dissimilarity distribution.
+
+    The gap search runs in log space: Sybil and honest dissimilarities
+    differ by orders of magnitude, so the separating structure is
+    multiplicative, not additive.  The returned threshold is mapped back
+    to the linear scale.
+    """
+    _, dissimilarity = trajectory_dissimilarity_matrix(
+        dataset, timestamp_scale=timestamp_scale
+    )
+    upper = dissimilarity[np.triu_indices(len(dissimilarity), k=1)]
+    upper = upper[np.isfinite(upper)]
+    positive = upper[upper > 0]
+    if len(positive) == 0:
+        return CalibrationResult(
+            threshold=None, gap_fraction=0.0, gap_low=0.0, gap_high=0.0, n_pairs=0
+        )
+    result = largest_gap_threshold(np.log10(positive), min_gap_fraction)
+    if not result.confident:
+        return CalibrationResult(
+            threshold=None,
+            gap_fraction=result.gap_fraction,
+            gap_low=10.0**result.gap_low,
+            gap_high=10.0**result.gap_high,
+            n_pairs=result.n_pairs,
+        )
+    assert result.threshold is not None
+    return CalibrationResult(
+        threshold=float(10.0**result.threshold),
+        gap_fraction=result.gap_fraction,
+        gap_low=float(10.0**result.gap_low),
+        gap_high=float(10.0**result.gap_high),
+        n_pairs=result.n_pairs,
+    )
+
+
+def auto_taskset_grouper(
+    dataset: SensingDataset,
+    fallback_threshold: float = 1.0,
+    min_gap_fraction: float = DEFAULT_MIN_GAP_FRACTION,
+) -> TaskSetGrouper:
+    """AG-TS with a data-calibrated ``rho`` (paper default as fallback)."""
+    calibration = calibrate_taskset_threshold(dataset, min_gap_fraction)
+    threshold = (
+        calibration.threshold if calibration.confident else fallback_threshold
+    )
+    return TaskSetGrouper(threshold=threshold)
+
+
+def auto_trajectory_grouper(
+    dataset: SensingDataset,
+    fallback_threshold: float = 1.0,
+    timestamp_scale: float = SECONDS_PER_HOUR,
+    min_gap_fraction: float = DEFAULT_MIN_GAP_FRACTION,
+) -> TrajectoryGrouper:
+    """AG-TR with a data-calibrated ``phi`` (paper default as fallback)."""
+    calibration = calibrate_trajectory_threshold(
+        dataset, timestamp_scale, min_gap_fraction
+    )
+    threshold = (
+        calibration.threshold if calibration.confident else fallback_threshold
+    )
+    return TrajectoryGrouper(threshold=threshold, timestamp_scale=timestamp_scale)

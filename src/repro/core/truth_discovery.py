@@ -1,0 +1,365 @@
+"""Generic iterative truth discovery (Algorithm 1 of the paper).
+
+A truth discovery algorithm alternates two phases until convergence:
+
+* **weight estimation** — given current truth estimates ``d_j``, score each
+  source by how far its data sits from the truths and map that distance to
+  a weight through a monotonically decreasing functional ``W`` (Eq. 1);
+* **truth estimation** — given the weights, re-estimate each task's truth as
+  the weighted average of its claims (Eq. 2).
+
+This module provides the machinery shared by the concrete algorithms:
+
+* :class:`ConvergencePolicy` — iteration budget and truth-change tolerance;
+* weight functionals (:func:`crh_log_weights`, :func:`reciprocal_weights`,
+  :func:`exponential_weights`) — different published instantiations of
+  ``W``;
+* :class:`TruthDiscoveryResult` — truths, per-source weights, and
+  convergence diagnostics;
+* :class:`IterativeTruthDiscovery` — the Algorithm 1 loop, parameterized by
+  a weight functional.  :class:`repro.core.crh.CRH` is a thin preset of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro._nputil import nanmean_quiet, nanmedian_quiet, nanminmax_quiet, nanstd_quiet
+from repro.core.dataset import SensingDataset
+from repro.core.types import TaskId
+from repro.errors import ConvergenceError, DataValidationError
+
+#: A weight functional maps the vector of per-source aggregate distances to
+#: a vector of non-negative source weights.  It must be monotonically
+#: decreasing: a larger distance never yields a larger weight.
+WeightFunction = Callable[[np.ndarray], np.ndarray]
+
+#: Numerical floor used to keep logarithms and divisions finite when a
+#: source agrees exactly with every truth estimate.
+_EPS = 1e-12
+
+
+def crh_log_weights(distances: np.ndarray) -> np.ndarray:
+    """CRH weight update: ``w_i = log(sum_k dist_k / dist_i)``.
+
+    This is the weight functional of the CRH framework (Li et al.,
+    SIGMOD 2014), obtained as the closed-form solution of CRH's joint
+    optimization.  Sources whose claims sit exactly on the truths get the
+    weight of an ``_EPS`` distance — large but finite.
+    """
+    distances = np.maximum(np.asarray(distances, dtype=float), _EPS)
+    total = distances.sum()
+    if total <= 0:
+        return np.ones_like(distances)
+    weights = np.log(total / distances)
+    # log can go (slightly) negative for a source holding > 1/e of the total
+    # distance mass; CRH clips those unreliable sources to zero influence.
+    return np.maximum(weights, 0.0)
+
+
+def reciprocal_weights(distances: np.ndarray) -> np.ndarray:
+    """Inverse-distance weights ``w_i = 1 / dist_i`` (normalized).
+
+    A simpler decreasing functional used by several truth discovery
+    variants; more aggressive than CRH's logarithm.
+    """
+    distances = np.maximum(np.asarray(distances, dtype=float), _EPS)
+    weights = 1.0 / distances
+    return weights / weights.sum()
+
+
+def exponential_weights(distances: np.ndarray, scale: float = 1.0) -> np.ndarray:
+    """Softmin weights ``w_i = exp(-dist_i / scale)`` (normalized).
+
+    ``scale`` controls selectivity: small scales concentrate nearly all
+    weight on the closest source.
+    """
+    distances = np.asarray(distances, dtype=float)
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    shifted = distances - distances.min()
+    weights = np.exp(-shifted / scale)
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class ConvergencePolicy:
+    """When to stop the weight/truth iteration.
+
+    The paper notes the criterion is application-specific (CRH uses a fixed
+    iteration count).  We stop when the largest truth change over one
+    iteration drops below ``tolerance``, or after ``max_iterations``.
+
+    Parameters
+    ----------
+    max_iterations:
+        Hard iteration budget.
+    tolerance:
+        Maximum absolute truth change below which the loop is converged.
+    strict:
+        If true, hitting the budget without meeting ``tolerance`` raises
+        :class:`~repro.errors.ConvergenceError` instead of returning the
+        last iterate.
+    """
+
+    max_iterations: int = 100
+    tolerance: float = 1e-6
+    strict: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {self.max_iterations}")
+        if self.tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {self.tolerance}")
+
+
+@dataclass(frozen=True)
+class TruthDiscoveryResult:
+    """Output of a truth discovery run.
+
+    Attributes
+    ----------
+    truths:
+        Estimated truth ``d_j`` for every task that received at least one
+        claim.  Tasks with no claims are absent.
+    weights:
+        Final per-source weight.  For Algorithm 1 the sources are accounts;
+        for Algorithm 2 (the Sybil-resistant framework) they are groups and
+        this mapping is keyed by a group label — see
+        :class:`repro.core.framework.FrameworkResult` which also exposes
+        per-group detail.
+    iterations:
+        Number of weight/truth iterations executed.
+    converged:
+        Whether the tolerance criterion was met within the budget.
+    truth_history:
+        Truth vector after each iteration (in task-sorted order), useful
+        for convergence plots and tests.
+    """
+
+    truths: Mapping[TaskId, float]
+    weights: Mapping[str, float]
+    iterations: int
+    converged: bool
+    truth_history: Tuple[Tuple[float, ...], ...] = field(default=())
+
+    def truth_vector(self, task_order: Tuple[TaskId, ...]) -> np.ndarray:
+        """Truths as an array in the given task order (``NaN`` if absent)."""
+        return np.array([self.truths.get(tid, np.nan) for tid in task_order])
+
+
+def weighted_median(values: np.ndarray, weights: np.ndarray) -> float:
+    """The weighted median: smallest value with half the weight at/below it.
+
+    The robust alternative to Eq. 2's weighted mean — the minimizer of
+    the weighted *absolute* deviation instead of the squared one.  Breaks
+    only when the corrupted sources hold a strict weight majority.
+    """
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if len(values) == 0:
+        raise ValueError("weighted_median of an empty sample")
+    if (weights < 0).any():
+        raise ValueError("weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        # No usable weight: fall back to the plain median.
+        return float(np.median(values))
+    order = np.argsort(values, kind="stable")
+    cumulative = np.cumsum(weights[order])
+    index = int(np.searchsorted(cumulative, total / 2.0))
+    index = min(index, len(values) - 1)
+    return float(values[order][index])
+
+
+def normalized_squared_distance(
+    values: np.ndarray, truth: float, spread: float
+) -> np.ndarray:
+    """Per-claim distance ``(v - d_j)^2 / spread_j`` used by CRH.
+
+    Normalizing by the task's claim spread keeps tasks with large natural
+    scales (or high disagreement) from dominating the weight update.
+    """
+    return (values - truth) ** 2 / max(spread, _EPS)
+
+
+class IterativeTruthDiscovery:
+    """Algorithm 1: iterative weight/truth estimation over accounts.
+
+    Parameters
+    ----------
+    weight_function:
+        The monotonically decreasing functional ``W`` of Eq. 1.  Defaults
+        to CRH's logarithmic weights.
+    convergence:
+        Stopping policy; defaults to 100 iterations / 1e-6 tolerance.
+    normalize_distances:
+        If true (default, CRH behaviour), per-claim distances are divided
+        by the standard deviation of the task's claims before summing.
+    initializer:
+        How to produce iteration-0 truths: ``"mean"`` (default),
+        ``"median"``, or ``"random"`` (uniform over each task's claim
+        range, the paper's "randomly initialize"; requires ``rng``).
+    truth_estimator:
+        The truth update of Eq. 2: ``"mean"`` (default, the weighted
+        average every algorithm in the paper uses) or ``"median"`` (the
+        weighted median — a robust variant that resists a *sub-majority*
+        of colluding weight; see the ABL-5 bench).
+    rng:
+        Random generator for the ``"random"`` initializer.
+    """
+
+    def __init__(
+        self,
+        weight_function: WeightFunction = crh_log_weights,
+        convergence: ConvergencePolicy = ConvergencePolicy(),
+        normalize_distances: bool = True,
+        initializer: str = "mean",
+        truth_estimator: str = "mean",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if initializer not in ("mean", "median", "random"):
+            raise ValueError(
+                f"initializer must be 'mean', 'median' or 'random', got {initializer!r}"
+            )
+        if truth_estimator not in ("mean", "median"):
+            raise ValueError(
+                f"truth_estimator must be 'mean' or 'median', got {truth_estimator!r}"
+            )
+        if initializer == "random" and rng is None:
+            raise ValueError("the 'random' initializer requires an rng")
+        self._weight_function = weight_function
+        self._convergence = convergence
+        self._normalize = normalize_distances
+        self._initializer = initializer
+        self._truth_estimator = truth_estimator
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+
+    def discover(self, dataset: SensingDataset) -> TruthDiscoveryResult:
+        """Run Algorithm 1 on the dataset and return truths and weights."""
+        if len(dataset) == 0:
+            raise DataValidationError("cannot run truth discovery on an empty dataset")
+
+        matrix, accounts, tasks = dataset.to_matrix()
+        answered = ~np.isnan(matrix)
+        task_mask = answered.any(axis=0)
+        truths = self._initial_truths(matrix, answered)
+
+        # Pre-compute each answered task's claim spread for normalization.
+        spreads = _claim_spreads(matrix, answered)
+
+        history: List[Tuple[float, ...]] = []
+        converged = False
+        iterations = 0
+        weights = np.ones(len(accounts))
+        for iterations in range(1, self._convergence.max_iterations + 1):
+            weights = self._estimate_weights(matrix, answered, truths, spreads)
+            if self._truth_estimator == "mean":
+                new_truths = _estimate_truths(matrix, answered, weights, truths)
+            else:
+                new_truths = _estimate_truths_median(
+                    matrix, answered, weights, truths
+                )
+            delta = float(np.nanmax(np.abs(new_truths - truths))) if task_mask.any() else 0.0
+            truths = new_truths
+            history.append(tuple(truths[task_mask]))
+            if delta < self._convergence.tolerance:
+                converged = True
+                break
+
+        if not converged and self._convergence.strict:
+            raise ConvergenceError(
+                f"truth discovery did not converge in "
+                f"{self._convergence.max_iterations} iterations"
+            )
+
+        truth_map = {
+            tid: float(truths[j]) for j, tid in enumerate(tasks) if task_mask[j]
+        }
+        weight_map = {account: float(w) for account, w in zip(accounts, weights)}
+        return TruthDiscoveryResult(
+            truths=truth_map,
+            weights=weight_map,
+            iterations=iterations,
+            converged=converged,
+            truth_history=tuple(history),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _initial_truths(self, matrix: np.ndarray, answered: np.ndarray) -> np.ndarray:
+        masked = np.where(answered, matrix, np.nan)
+        if self._initializer == "mean":
+            return nanmean_quiet(masked, axis=0)
+        if self._initializer == "median":
+            return nanmedian_quiet(masked, axis=0)
+        lows, highs = nanminmax_quiet(masked, axis=0)
+        assert self._rng is not None
+        draws = self._rng.uniform(np.nan_to_num(lows), np.nan_to_num(np.maximum(highs, lows)))
+        return np.where(np.isnan(lows), np.nan, draws)
+
+    def _estimate_weights(
+        self,
+        matrix: np.ndarray,
+        answered: np.ndarray,
+        truths: np.ndarray,
+        spreads: np.ndarray,
+    ) -> np.ndarray:
+        """Eq. 1: total distance of each account's claims, through ``W``."""
+        deviation = matrix - truths[np.newaxis, :]
+        squared = np.where(answered, deviation**2, 0.0)
+        if self._normalize:
+            squared = squared / spreads[np.newaxis, :]
+        distances = squared.sum(axis=1)
+        return self._weight_function(distances)
+
+    # ------------------------------------------------------------------
+
+
+def _claim_spreads(matrix: np.ndarray, answered: np.ndarray) -> np.ndarray:
+    """Per-task claim standard deviation with a floor, for normalization."""
+    spreads = nanstd_quiet(np.where(answered, matrix, np.nan), axis=0)
+    spreads = np.where(np.isnan(spreads) | (spreads < _EPS), 1.0, spreads)
+    return spreads
+
+
+def _estimate_truths(
+    matrix: np.ndarray,
+    answered: np.ndarray,
+    weights: np.ndarray,
+    previous: np.ndarray,
+) -> np.ndarray:
+    """Eq. 2: weighted average of claims per task.
+
+    Tasks whose claimants all carry zero weight keep their previous
+    estimate (the claims gave us no usable signal this round).
+    """
+    weighted = np.where(answered, matrix, 0.0) * weights[:, np.newaxis]
+    mass = (answered * weights[:, np.newaxis]).sum(axis=0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        estimates = weighted.sum(axis=0) / mass
+    return np.where(mass > 0, estimates, previous)
+
+
+def _estimate_truths_median(
+    matrix: np.ndarray,
+    answered: np.ndarray,
+    weights: np.ndarray,
+    previous: np.ndarray,
+) -> np.ndarray:
+    """Robust Eq. 2 variant: per-task weighted median of the claims."""
+    estimates = previous.copy()
+    for j in range(matrix.shape[1]):
+        mask = answered[:, j]
+        if not mask.any():
+            continue
+        claim_weights = weights[mask]
+        if claim_weights.sum() <= 0:
+            continue
+        estimates[j] = weighted_median(matrix[mask, j], claim_weights)
+    return estimates

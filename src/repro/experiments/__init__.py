@@ -1,0 +1,47 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every harness follows the same contract: a ``run_*`` function takes the
+experiment's knobs (with paper defaults) and returns a result object whose
+``render()`` produces the table/series the paper reports, as plain text.
+The benchmarks in ``benchmarks/`` time and print these, and the CLI
+(``python -m repro.cli <experiment>``) runs any of them standalone.
+
+Index (see DESIGN.md §3 for the full mapping):
+
+* :mod:`repro.experiments.table1` — CRH with/without the Sybil attack;
+* :mod:`repro.experiments.fig2` — AG-FP example (3 phones × 5 captures);
+* :mod:`repro.experiments.fig3` — AG-TS walkthrough on Table III;
+* :mod:`repro.experiments.fig4` — AG-TR walkthrough on Table III;
+* :mod:`repro.experiments.fig5` — the experimental-setup POI map;
+* :mod:`repro.experiments.fig6` — ARI comparison sweep;
+* :mod:`repro.experiments.fig7` — MAE comparison sweep;
+* :mod:`repro.experiments.fig8` — 11-phone fingerprint centre map.
+"""
+
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.fig6 import Fig6Result, run_fig6
+from repro.experiments.fig7 import Fig7Result, run_fig7
+from repro.experiments.fig8 import Fig8Result, run_fig8
+from repro.experiments.table1 import Table1Result, run_table1
+
+__all__ = [
+    "Fig2Result",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig5Result",
+    "Fig6Result",
+    "Fig7Result",
+    "Fig8Result",
+    "Table1Result",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_table1",
+]

@@ -1,0 +1,137 @@
+"""Terminal line charts for the sweep figures.
+
+Figs. 6 and 7 are line plots in the paper; the harnesses print their data
+as tables, and this module adds a compact character-grid rendering so the
+*shape* (who is on top, where curves cross) is visible at a glance in the
+benchmark output, without any plotting dependency.
+
+One chart draws several named series over a shared x-axis; each series
+gets a marker character, collisions show the later series' marker, and a
+legend plus y-range annotation accompany the grid.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+import numpy as np
+
+#: Marker characters assigned to series, in declaration order.
+MARKERS = "ox*+#@%&"
+
+#: Default grid size (columns expand to fit the x resolution).
+DEFAULT_HEIGHT = 12
+DEFAULT_WIDTH = 56
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_labels: Optional[Sequence[str]] = None,
+    height: int = DEFAULT_HEIGHT,
+    width: int = DEFAULT_WIDTH,
+    title: Optional[str] = None,
+) -> str:
+    """Render named series as a character-grid line chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping of series name → y-values.  All series must share one
+        length (the x resolution).
+    x_labels:
+        Optional labels for the first and last x positions (only the
+        endpoints are printed, as an axis annotation).
+    height, width:
+        Grid dimensions in characters.
+    title:
+        Optional heading line.
+
+    Returns
+    -------
+    The chart as a multi-line string: title, grid with a y-range gutter,
+    x-axis annotation, and a legend mapping markers to series names.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(values) for values in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    (n_points,) = lengths
+    if n_points < 1:
+        raise ValueError("series must be non-empty")
+    if height < 2 or width < n_points:
+        raise ValueError(
+            f"grid {width}x{height} too small for {n_points} points"
+        )
+    if len(series) > len(MARKERS):
+        raise ValueError(f"at most {len(MARKERS)} series supported")
+
+    all_values = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    finite = all_values[np.isfinite(all_values)]
+    if len(finite) == 0:
+        raise ValueError("series contain no finite values")
+    low, high = float(finite.min()), float(finite.max())
+    if high - low < 1e-12:
+        high = low + 1.0  # flat data: draw mid-grid
+
+    def row_of(value: float) -> Optional[int]:
+        if not np.isfinite(value):
+            return None
+        fraction = (value - low) / (high - low)
+        return int(round((height - 1) * (1.0 - fraction)))
+
+    columns = [
+        int(round(index * (width - 1) / max(n_points - 1, 1)))
+        for index in range(n_points)
+    ]
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for marker, (name, values) in zip(MARKERS, series.items()):
+        previous: Optional[tuple] = None
+        for index, value in enumerate(values):
+            row = row_of(float(value))
+            if row is None:
+                previous = None
+                continue
+            column = columns[index]
+            grid[row][column] = marker
+            if previous is not None:
+                _draw_segment(grid, previous, (row, column), marker)
+            previous = (row, column)
+
+    gutter = max(len(f"{high:.3g}"), len(f"{low:.3g}"))
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{high:.3g}".rjust(gutter)
+        elif row_index == height - 1:
+            label = f"{low:.3g}".rjust(gutter)
+        else:
+            label = " " * gutter
+        lines.append(f"{label} |" + "".join(row))
+    lines.append(" " * gutter + " +" + "-" * width)
+    if x_labels:
+        first, last = str(x_labels[0]), str(x_labels[-1])
+        padding = max(width - len(first) - len(last), 1)
+        lines.append(" " * (gutter + 2) + first + " " * padding + last)
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(MARKERS, series)
+    )
+    lines.append(" " * (gutter + 2) + legend)
+    return "\n".join(lines)
+
+
+def _draw_segment(grid, start, end, marker):
+    """Fill intermediate cells between two plotted points with dots.
+
+    Keeps the actual data markers distinct while making each series read
+    as a connected curve.  Existing markers are never overwritten.
+    """
+    (r1, c1), (r2, c2) = start, end
+    steps = max(abs(r2 - r1), abs(c2 - c1))
+    for step in range(1, steps):
+        row = int(round(r1 + (r2 - r1) * step / steps))
+        column = int(round(c1 + (c2 - c1) * step / steps))
+        if grid[row][column] == " ":
+            grid[row][column] = "."

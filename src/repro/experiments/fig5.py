@@ -1,0 +1,91 @@
+"""Fig. 5: the POI map of the experimental setup.
+
+The paper's Fig. 5 is a campus map with the 10 Wi-Fi measurement POIs
+marked.  The simulated counterpart renders a generated world's POIs on an
+ASCII grid — the layout the trajectory simulator walks — together with
+the hidden ground-truth RSS per POI and one sample legitimate walking
+route, so the setup of Figs. 6/7 is inspectable end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.experiments.reporting import render_table
+from repro.simulation.trajectories import plan_route
+from repro.simulation.world import World, make_wifi_world
+
+#: Character-grid dimensions of the rendered map.
+MAP_COLUMNS = 64
+MAP_ROWS = 24
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """The generated world, its ASCII map, and a sample route."""
+
+    world: World
+    grid: Tuple[str, ...]
+    sample_route: Tuple[str, ...]
+
+    def render(self) -> str:
+        truths = render_table(
+            ["POI", "ground-truth RSS (dBm)", "x (m)", "y (m)"],
+            [
+                [
+                    task.task_id,
+                    self.world.truth(task.task_id),
+                    task.location[0],
+                    task.location[1],
+                ]
+                for task in self.world.tasks
+            ],
+            precision=1,
+            title="Fig. 5 — POIs for Wi-Fi signal strength measurement",
+        )
+        map_text = "\n".join(self.grid)
+        route = " -> ".join(self.sample_route)
+        return (
+            f"{truths}\n\nMap ({MAP_COLUMNS}x{MAP_ROWS} chars over the "
+            f"simulated campus; digits mark POIs, 0 = POI 10):\n{map_text}\n\n"
+            f"Sample nearest-neighbour route from the map origin: {route}"
+        )
+
+
+def _poi_marker(index: int) -> str:
+    """Single-character POI label: 1..9 then 0 for the tenth, A.. beyond."""
+    if index < 9:
+        return str(index + 1)
+    if index == 9:
+        return "0"
+    return chr(ord("A") + index - 10)
+
+
+def render_world_map(world: World, area_size: float) -> Tuple[str, ...]:
+    """Project POI coordinates onto the character grid."""
+    grid: List[List[str]] = [
+        ["."] * MAP_COLUMNS for _ in range(MAP_ROWS)
+    ]
+    for index, task in enumerate(world.tasks):
+        assert task.location is not None
+        x, y = task.location
+        col = min(int(x / area_size * MAP_COLUMNS), MAP_COLUMNS - 1)
+        row = min(int(y / area_size * MAP_ROWS), MAP_ROWS - 1)
+        grid[MAP_ROWS - 1 - row][col] = _poi_marker(index)
+    return tuple("".join(row) for row in grid)
+
+
+def run_fig5(seed: int = 5, n_tasks: int = 10, area_size: float = 500.0) -> Fig5Result:
+    """Generate the paper-scale world and render its setup."""
+    rng = np.random.default_rng(seed)
+    world = make_wifi_world(n_tasks, rng, area_size=area_size)
+    grid = render_world_map(world, area_size)
+    route = plan_route(list(world.tasks), start_position=(0.0, 0.0))
+    return Fig5Result(
+        world=world,
+        grid=grid,
+        sample_route=tuple(task.task_id for task in route),
+    )

@@ -1,0 +1,67 @@
+"""The paper's worked-example data, transcribed verbatim.
+
+Tables I and III of the paper share one setting: an MCS system with 4
+Wi-Fi tasks and 4 users, of which user 4 is a Sybil attacker running
+Attack-I through accounts ``4'``, ``4''``, ``4'''`` that each fabricate
+−50 dBm for tasks T1/T3/T4.  Table I gives the sensing values; Table III
+gives the submission timestamps (wall clock, here as seconds after
+10:00:00 a.m.).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.dataset import SensingDataset
+
+#: Account labels exactly as printed in the paper.
+TABLE1_ACCOUNTS: Tuple[str, ...] = ("1", "2", "3", "4'", "4''", "4'''")
+
+#: Accounts controlled by the Sybil attacker (user 4).
+SYBIL_ACCOUNTS: Tuple[str, ...] = ("4'", "4''", "4'''")
+
+_X = float("nan")
+
+#: Table I sensing values (dBm); ``NaN`` = the paper's ``x``.
+TABLE1_VALUES = np.array(
+    [
+        [-84.48, -82.11, -75.16, -72.71],
+        [_X, -72.27, -77.21, _X],
+        [-72.41, -91.49, _X, -73.55],
+        [-50.0, _X, -50.0, -50.0],
+        [-50.0, _X, -50.0, -50.0],
+        [-50.0, _X, -50.0, -50.0],
+    ]
+)
+
+#: Aggregates the paper reports for Table I (CRH without / with the attack).
+TABLE1_PAPER_WITHOUT = {"T1": -84.23, "T2": -82.01, "T3": -75.22, "T4": -72.72}
+TABLE1_PAPER_WITH = {"T1": -56.06, "T2": -86.17, "T3": -53.29, "T4": -55.35}
+
+#: Table III timestamps, seconds after 10:00:00 a.m.; ``NaN`` = ``x``.
+#: (e.g. account 1 performed T1 at 10:00:35 → 35 s.)
+TABLE3_TIMESTAMPS = np.array(
+    [
+        [35.0, 162.0, 622.0, 821.0],       # 1:  10:00:35 10:02:42 10:10:22 10:13:41
+        [_X, 255.0, 361.0, _X],            # 2:           10:04:15 10:06:01
+        [81.0, 245.0, _X, 508.0],          # 3:  10:01:21 10:04:05          10:08:28
+        [70.0, _X, 924.0, 1206.0],         # 4': 10:01:10          10:15:24 10:20:06
+        [94.0, _X, 968.0, 1285.0],         # 4'':10:01:34          10:16:08 10:21:25
+        [155.0, _X, 1055.0, 1322.0],       # 4''':10:02:35         10:17:35 10:22:02
+    ]
+)
+
+
+def paper_example_dataset() -> SensingDataset:
+    """Tables I + III as one dataset: values from I, timestamps from III.
+
+    The two tables describe the same campaign, so their ``x`` patterns
+    coincide.
+    """
+    return SensingDataset.from_matrix(
+        TABLE1_VALUES,
+        account_ids=list(TABLE1_ACCOUNTS),
+        timestamps=TABLE3_TIMESTAMPS,
+    )

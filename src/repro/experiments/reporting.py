@@ -1,0 +1,112 @@
+"""Plain-text rendering of experiment outputs.
+
+The harnesses print the same rows/series the paper's tables and figures
+report.  Everything here is dependency-free string formatting: fixed-width
+tables, labelled matrices, and section banners.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+Cell = Union[str, float, int, None]
+
+
+def format_cell(value: Cell, precision: int = 2) -> str:
+    """One table cell: floats rounded, ``None``/NaN shown as ``x``.
+
+    The ``x`` convention matches the paper's Tables I and III, where it
+    marks tasks an account did not perform.
+    """
+    if value is None:
+        return "x"
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "x"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """A fixed-width text table with a header rule.
+
+    Column widths adapt to content; numeric cells are right-aligned,
+    text cells left-aligned.
+    """
+    materialized: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for idx, cell in enumerate(cells):
+            if idx == 0:
+                parts.append(cell.ljust(widths[idx]))
+            else:
+                parts.append(cell.rjust(widths[idx]))
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(fmt_row(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def render_matrix(
+    labels: Sequence[str],
+    matrix: np.ndarray,
+    precision: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """A labelled square matrix (the paper's adjacency-matrix figures)."""
+    matrix = np.asarray(matrix)
+    if matrix.shape != (len(labels), len(labels)):
+        raise ValueError(
+            f"matrix shape {matrix.shape} does not match {len(labels)} labels"
+        )
+    headers = [""] + list(labels)
+    rows = [
+        [labels[i]] + [format_cell(float(matrix[i, j]), precision) for j in range(len(labels))]
+        for i in range(len(labels))
+    ]
+    return render_table(headers, rows, precision=precision, title=title)
+
+
+def banner(text: str, width: int = 72) -> str:
+    """A section banner: ``=== text ===`` padded to ``width``."""
+    inner = f" {text} "
+    pad = max(width - len(inner), 4)
+    left = pad // 2
+    right = pad - left
+    return "=" * left + inner + "=" * right
+
+
+def describe_groups(groups: Iterable[Iterable[str]]) -> str:
+    """Human-readable partition, e.g. ``{4', 4'', 4'''}, {1}, {2}``.
+
+    Groups are printed largest-first (the suspicious ones first), members
+    sorted within each group.
+    """
+    rendered = sorted(
+        ("{" + ", ".join(sorted(g)) + "}" for g in map(list, groups)),
+        key=lambda s: (-s.count(","), s),
+    )
+    return ", ".join(rendered)

@@ -1,0 +1,23 @@
+"""Minimal undirected-graph substrate for the account grouping methods.
+
+AG-TS and AG-TR both end the same way (Section IV-C): build an undirected
+graph over accounts whose edges are pairwise scores passing a threshold,
+then take connected components as groups.  This package provides exactly
+that: :class:`~repro.graph.components.UndirectedGraph` with DFS connected
+components, and threshold-graph builders in :mod:`repro.graph.threshold`.
+"""
+
+from repro.graph.components import UndirectedGraph, connected_components
+from repro.graph.threshold import (
+    graph_from_affinity,
+    graph_from_dissimilarity,
+    groups_from_components,
+)
+
+__all__ = [
+    "UndirectedGraph",
+    "connected_components",
+    "graph_from_affinity",
+    "graph_from_dissimilarity",
+    "groups_from_components",
+]

@@ -1,0 +1,114 @@
+"""Undirected graphs and DFS connected components.
+
+Implemented from scratch (no networkx) per the reproduction policy: the
+paper explicitly names Depth First Search as the component-discovery
+procedure for both AG-TS and AG-TR (Section IV-C, step 3).  The DFS here is
+iterative, so pathological graphs (one long chain of accounts) cannot blow
+the Python recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Generic, Hashable, Iterable, List, Set, Tuple, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+class UndirectedGraph(Generic[Node]):
+    """A simple undirected graph with weighted edges.
+
+    Nodes may be added explicitly (isolated accounts still form their own
+    group) or implicitly by adding an edge.  Self-loops are ignored: an
+    account is trivially similar to itself and a self-loop never changes
+    the component structure.
+    """
+
+    def __init__(self, nodes: Iterable[Node] = ()):
+        self._adjacency: Dict[Node, Dict[Node, float]] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        """Ensure ``node`` exists (idempotent)."""
+        self._adjacency.setdefault(node, {})
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Add the undirected edge ``{u, v}`` with the given weight.
+
+        Re-adding an edge overwrites its weight.  Self-loops are dropped.
+        """
+        self.add_node(u)
+        self.add_node(v)
+        if u == v:
+            return
+        self._adjacency[u][v] = weight
+        self._adjacency[v][u] = weight
+
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """All nodes, sorted for determinism."""
+        return tuple(sorted(self._adjacency))
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._adjacency.values()) // 2
+
+    def neighbors(self, node: Node) -> Tuple[Node, ...]:
+        """Sorted neighbors of ``node`` (KeyError if absent)."""
+        return tuple(sorted(self._adjacency[node]))
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        return v in self._adjacency.get(u, ())
+
+    def edge_weight(self, u: Node, v: Node) -> float:
+        """Weight of edge ``{u, v}``; KeyError if the edge is absent."""
+        return self._adjacency[u][v]
+
+    def degree(self, node: Node) -> int:
+        """Number of neighbors of ``node``."""
+        return len(self._adjacency[node])
+
+    # ------------------------------------------------------------------
+
+    def connected_components(self) -> Tuple[FrozenSet[Node], ...]:
+        """All connected components, discovered by iterative DFS.
+
+        Components are returned sorted by their smallest member, and
+        isolated nodes appear as singleton components — exactly the "each
+        account not in any component is its own group" rule of the paper.
+        """
+        visited: Set[Node] = set()
+        components: List[FrozenSet[Node]] = []
+        for start in self.nodes:
+            if start in visited:
+                continue
+            stack = [start]
+            members: Set[Node] = set()
+            while stack:
+                node = stack.pop()
+                if node in visited:
+                    continue
+                visited.add(node)
+                members.add(node)
+                # Sorted push order makes traversal (and thus any
+                # tie-breaking downstream) deterministic.
+                stack.extend(sorted(self._adjacency[node], reverse=True))
+            components.append(frozenset(members))
+        components.sort(key=min)
+        return tuple(components)
+
+
+def connected_components(
+    nodes: Iterable[Node], edges: Iterable[Tuple[Node, Node]]
+) -> Tuple[FrozenSet[Node], ...]:
+    """Convenience: components of the graph over ``nodes`` with ``edges``."""
+    graph: UndirectedGraph[Node] = UndirectedGraph(nodes)
+    for u, v in edges:
+        graph.add_edge(u, v)
+    return graph.connected_components()

@@ -1,0 +1,27 @@
+"""Reward allocation: what the Sybil attack is ultimately *for*.
+
+The paper motivates both attacker types economically (Section I): a
+*rapacious* user duplicates data through extra accounts to collect extra
+rewards; a *malicious* user spends accounts to manipulate estimates.
+This package closes that loop by implementing the platform's payment
+side, so the framework's effect can be measured in currency as well as
+in MAE:
+
+* :mod:`repro.incentives.payments` — per-claim proportional payments
+  derived from truth discovery weights, in both account-level (plain TD)
+  and group-level (framework) flavours, plus the attacker-profit metric.
+"""
+
+from repro.incentives.payments import (
+    PaymentReport,
+    group_level_payments,
+    proportional_payments,
+    sybil_profit,
+)
+
+__all__ = [
+    "PaymentReport",
+    "group_level_payments",
+    "proportional_payments",
+    "sybil_profit",
+]

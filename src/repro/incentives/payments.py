@@ -1,0 +1,160 @@
+"""Quality-proportional payments and the Sybil-profit metric.
+
+Model: the platform allocates a fixed ``budget`` per task among that
+task's contributors, proportionally to their truth discovery weights —
+the standard quality-aware scheme (pay more to sources the aggregation
+trusted more).  Two flavours differ in *who* counts as a contributor:
+
+* :func:`proportional_payments` — account-level, as a plain-TD platform
+  would pay.  A Sybil attacker with ``k`` accounts on a task collects
+  ``k`` shares: duplication is profitable, which is precisely the
+  rapacious incentive the paper describes.
+* :func:`group_level_payments` — framework-aware: each *group* earns one
+  share per task (by its group weight), and the share is paid out once
+  per group regardless of how many accounts it burned.  Duplication
+  earns nothing extra; with the attacker grouped, its take collapses to
+  a single honest-sized share.
+
+:func:`sybil_profit` sums an attacker's total take, so benches can show
+the economic effect of grouping directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, Dict, Mapping
+
+from repro.core.dataset import SensingDataset
+from repro.core.framework import FrameworkResult
+from repro.core.truth_discovery import TruthDiscoveryResult
+from repro.core.types import AccountId
+from repro.errors import DataValidationError
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class PaymentReport:
+    """Per-account payments for one campaign.
+
+    Attributes
+    ----------
+    payments:
+        Total payment per account over all tasks.
+    budget_per_task:
+        The per-task budget that was split.
+    total_paid:
+        Sum over all accounts (≤ tasks × budget; strictly less only if a
+        task had no positively-weighted contributor).
+    """
+
+    payments: Mapping[AccountId, float]
+    budget_per_task: float
+    total_paid: float
+
+    def payment(self, account: AccountId) -> float:
+        """This account's total take (0.0 if it earned nothing)."""
+        return self.payments.get(account, 0.0)
+
+
+def _validate_budget(budget_per_task: float) -> None:
+    if budget_per_task <= 0:
+        raise DataValidationError(
+            f"budget_per_task must be positive, got {budget_per_task}"
+        )
+
+
+def proportional_payments(
+    dataset: SensingDataset,
+    result: TruthDiscoveryResult,
+    budget_per_task: float = 1.0,
+) -> PaymentReport:
+    """Account-level weight-proportional payments (plain-TD platform).
+
+    For each task, every claimant account receives
+    ``budget * w_account / sum of claimant weights``.  Accounts missing
+    from ``result.weights`` count as weight 0.
+    """
+    _validate_budget(budget_per_task)
+    payments: Dict[AccountId, float] = {}
+    for task_id in dataset.tasks:
+        claimants = dataset.accounts_for_task(task_id)
+        if not claimants:
+            continue
+        weights = {a: max(float(result.weights.get(a, 0.0)), 0.0) for a in claimants}
+        mass = sum(weights.values())
+        if mass <= _EPS:
+            # Nobody earned trust: split evenly (the platform still owes
+            # the budget to its contributors).
+            share = budget_per_task / len(claimants)
+            for account in claimants:
+                payments[account] = payments.get(account, 0.0) + share
+            continue
+        for account in claimants:
+            payments[account] = payments.get(account, 0.0) + (
+                budget_per_task * weights[account] / mass
+            )
+    return PaymentReport(
+        payments=payments,
+        budget_per_task=budget_per_task,
+        total_paid=float(sum(payments.values())),
+    )
+
+
+def group_level_payments(
+    dataset: SensingDataset,
+    result: FrameworkResult,
+    budget_per_task: float = 1.0,
+) -> PaymentReport:
+    """Group-level payments (framework-aware platform).
+
+    For each task, each *group* with data receives
+    ``budget * w_group / sum of group weights`` — once, not per account.
+    The group's share is credited to its accounts **split equally**, so
+    a Sybil attacker's per-account income shrinks with every extra
+    account it burns (the Sybil-proofness property the paper's incentive
+    references aim for).
+    """
+    _validate_budget(budget_per_task)
+    grouping = result.grouping
+    payments: Dict[AccountId, float] = {}
+    for task_id in dataset.tasks:
+        claimants = dataset.accounts_for_task(task_id)
+        if not claimants:
+            continue
+        group_claimants: Dict[int, list] = {}
+        for account in claimants:
+            group_claimants.setdefault(
+                grouping.group_index_of(account), []
+            ).append(account)
+        weights = {
+            gi: max(float(result.group_weights.get(gi, 0.0)), 0.0)
+            for gi in group_claimants
+        }
+        mass = sum(weights.values())
+        for gi, members in group_claimants.items():
+            if mass <= _EPS:
+                share = budget_per_task / len(group_claimants)
+            else:
+                share = budget_per_task * weights[gi] / mass
+            per_member = share / len(members)
+            for account in members:
+                payments[account] = payments.get(account, 0.0) + per_member
+    return PaymentReport(
+        payments=payments,
+        budget_per_task=budget_per_task,
+        total_paid=float(sum(payments.values())),
+    )
+
+
+def sybil_profit(
+    report: PaymentReport, sybil_accounts: AbstractSet[AccountId]
+) -> float:
+    """Total take of the attacker-controlled accounts."""
+    return float(
+        sum(
+            payment
+            for account, payment in report.payments.items()
+            if account in sybil_accounts
+        )
+    )

@@ -1,0 +1,229 @@
+"""Persistence: datasets, groupings and fingerprints on disk.
+
+A platform accumulates campaigns; experiments want them re-loadable.
+This module provides simple, dependency-free formats:
+
+* **CSV** for observations (``account_id,task_id,value,timestamp`` with a
+  header) — interoperable with spreadsheets and pandas;
+* **JSON** for whole datasets (tasks with locations + observations) and
+  for groupings (a list of account lists);
+* **NPZ** (numpy archive) for fingerprint captures, whose payload is four
+  float arrays per account.
+
+Every ``save_*`` has a matching ``load_*`` and round-trips exactly (up to
+float formatting in CSV, which uses ``repr`` and is lossless).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.core.dataset import SensingDataset
+from repro.core.types import Grouping, Observation, Task
+from repro.errors import DataValidationError
+from repro.sensors.fingerprint import FingerprintCapture
+
+PathLike = Union[str, pathlib.Path]
+
+_CSV_HEADER = ["account_id", "task_id", "value", "timestamp"]
+
+
+# ----------------------------------------------------------------------
+# Observations as CSV
+# ----------------------------------------------------------------------
+
+
+def save_observations_csv(dataset: SensingDataset, path: PathLike) -> None:
+    """Write all observations as a four-column CSV with a header row.
+
+    Task metadata (locations, descriptions) is *not* stored in CSV; use
+    the JSON format to preserve it.
+    """
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_HEADER)
+        for account in dataset.accounts:
+            for obs in dataset.observations_for_account(account):
+                writer.writerow(
+                    [obs.account_id, obs.task_id, repr(obs.value), repr(obs.timestamp)]
+                )
+
+
+def load_observations_csv(path: PathLike) -> SensingDataset:
+    """Read a CSV written by :func:`save_observations_csv`.
+
+    The task universe is inferred from the observations (tasks appear
+    with no location).
+    """
+    observations: List[Observation] = []
+    task_ids = set()
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _CSV_HEADER:
+            raise DataValidationError(
+                f"unexpected CSV header {header!r}; expected {_CSV_HEADER!r}"
+            )
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 4:
+                raise DataValidationError(
+                    f"line {line_number}: expected 4 fields, got {len(row)}"
+                )
+            account, task, value, timestamp = row
+            observations.append(
+                Observation(
+                    account_id=account,
+                    task_id=task,
+                    value=float(value),
+                    timestamp=float(timestamp),
+                )
+            )
+            task_ids.add(task)
+    tasks = [Task(task_id=tid) for tid in sorted(task_ids)]
+    return SensingDataset(tasks, observations)
+
+
+# ----------------------------------------------------------------------
+# Datasets as JSON (with task metadata)
+# ----------------------------------------------------------------------
+
+
+def save_dataset_json(dataset: SensingDataset, path: PathLike) -> None:
+    """Write the full dataset — tasks with metadata plus observations."""
+    payload = {
+        "format": "repro.dataset",
+        "version": 1,
+        "tasks": [
+            {
+                "task_id": tid,
+                "location": list(dataset.task(tid).location)
+                if dataset.task(tid).location is not None
+                else None,
+                "description": dataset.task(tid).description,
+            }
+            for tid in dataset.tasks
+        ],
+        "observations": [
+            {
+                "account_id": obs.account_id,
+                "task_id": obs.task_id,
+                "value": obs.value,
+                "timestamp": obs.timestamp,
+            }
+            for account in dataset.accounts
+            for obs in dataset.observations_for_account(account)
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_dataset_json(path: PathLike) -> SensingDataset:
+    """Read a dataset written by :func:`save_dataset_json`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format") != "repro.dataset":
+        raise DataValidationError(
+            f"not a repro dataset file: format={payload.get('format')!r}"
+        )
+    tasks = [
+        Task(
+            task_id=entry["task_id"],
+            location=tuple(entry["location"]) if entry.get("location") else None,
+            description=entry.get("description", ""),
+        )
+        for entry in payload["tasks"]
+    ]
+    observations = [
+        Observation(
+            account_id=entry["account_id"],
+            task_id=entry["task_id"],
+            value=float(entry["value"]),
+            timestamp=float(entry["timestamp"]),
+        )
+        for entry in payload["observations"]
+    ]
+    return SensingDataset(tasks, observations)
+
+
+# ----------------------------------------------------------------------
+# Groupings as JSON
+# ----------------------------------------------------------------------
+
+
+def save_grouping_json(grouping: Grouping, path: PathLike) -> None:
+    """Write a grouping as ``{"groups": [[...], ...]}``."""
+    payload = {
+        "format": "repro.grouping",
+        "version": 1,
+        "groups": [sorted(group) for group in grouping.groups],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_grouping_json(path: PathLike) -> Grouping:
+    """Read a grouping written by :func:`save_grouping_json`."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if payload.get("format") != "repro.grouping":
+        raise DataValidationError(
+            f"not a repro grouping file: format={payload.get('format')!r}"
+        )
+    return Grouping.from_groups(payload["groups"])
+
+
+# ----------------------------------------------------------------------
+# Fingerprint captures as NPZ
+# ----------------------------------------------------------------------
+
+
+def save_fingerprints_npz(
+    captures: Sequence[FingerprintCapture], path: PathLike
+) -> None:
+    """Write captures to one numpy archive.
+
+    Layout: per capture index ``k``, arrays ``k/accel_magnitude``,
+    ``k/gyro_x``, ``k/gyro_y``, ``k/gyro_z``, plus string metadata arrays
+    ``account_ids``, ``device_ids`` and a float ``sample_rates``.
+    """
+    arrays: Dict[str, np.ndarray] = {
+        "account_ids": np.array([c.account_id for c in captures]),
+        "device_ids": np.array([c.device_id for c in captures]),
+        "sample_rates": np.array([c.sample_rate for c in captures]),
+    }
+    for index, capture in enumerate(captures):
+        for name, stream in capture.streams.items():
+            arrays[f"{index}/{name}"] = np.asarray(stream, dtype=float)
+    np.savez_compressed(path, **arrays)
+
+
+def load_fingerprints_npz(path: PathLike) -> List[FingerprintCapture]:
+    """Read captures written by :func:`save_fingerprints_npz`."""
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            account_ids = archive["account_ids"]
+            device_ids = archive["device_ids"]
+            sample_rates = archive["sample_rates"]
+        except KeyError as exc:
+            raise DataValidationError(
+                f"not a repro fingerprint archive: missing {exc}"
+            ) from exc
+        captures = []
+        for index in range(len(account_ids)):
+            streams = {
+                name: archive[f"{index}/{name}"]
+                for name in ("accel_magnitude", "gyro_x", "gyro_y", "gyro_z")
+            }
+            captures.append(
+                FingerprintCapture(
+                    account_id=str(account_ids[index]),
+                    streams=streams,
+                    sample_rate=float(sample_rates[index]),
+                    device_id=str(device_ids[index]),
+                )
+            )
+    return captures

@@ -1,0 +1,25 @@
+"""Evaluation metrics: aggregation accuracy (Section V) and Sybil detection."""
+
+from repro.metrics.accuracy import (
+    error_by_task,
+    mean_absolute_error,
+    root_mean_squared_error,
+)
+from repro.metrics.detection import (
+    DetectionReport,
+    PairwiseReport,
+    detection_report,
+    flagged_accounts,
+    pairwise_report,
+)
+
+__all__ = [
+    "DetectionReport",
+    "PairwiseReport",
+    "detection_report",
+    "error_by_task",
+    "flagged_accounts",
+    "mean_absolute_error",
+    "pairwise_report",
+    "root_mean_squared_error",
+]

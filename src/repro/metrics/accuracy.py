@@ -1,0 +1,67 @@
+"""Aggregation-accuracy metrics.
+
+The paper measures accuracy by the **mean absolute error** between
+estimated and ground truths (Section V): ``MAE = (1/m) sum_j |d_j - d*_j|``.
+Lower is better.  :func:`root_mean_squared_error` is provided as a
+secondary diagnostic (it punishes the occasional large miss harder, which
+is exactly what a successful Sybil attack produces).
+
+Both metrics are computed over the *intersection* of the two mappings'
+tasks by default: a task nobody answered has no estimate and, per the
+paper's setup (every task receives data), never occurs in the benchmarks.
+Passing ``strict=True`` turns a missing estimate into an error instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.core.types import TaskId
+from repro.errors import DataValidationError
+
+
+def _common_tasks(
+    estimates: Mapping[TaskId, float],
+    truths: Mapping[TaskId, float],
+    strict: bool,
+) -> list:
+    if strict:
+        missing = set(truths) - set(estimates)
+        if missing:
+            raise DataValidationError(
+                f"no estimate for tasks: {sorted(missing)}"
+            )
+    common = sorted(set(estimates) & set(truths))
+    if not common:
+        raise DataValidationError("estimates and truths share no tasks")
+    return common
+
+
+def error_by_task(
+    estimates: Mapping[TaskId, float],
+    truths: Mapping[TaskId, float],
+    strict: bool = False,
+) -> Dict[TaskId, float]:
+    """Absolute error ``|d_j - d*_j|`` per shared task."""
+    common = _common_tasks(estimates, truths, strict)
+    return {tid: abs(estimates[tid] - truths[tid]) for tid in common}
+
+
+def mean_absolute_error(
+    estimates: Mapping[TaskId, float],
+    truths: Mapping[TaskId, float],
+    strict: bool = False,
+) -> float:
+    """The paper's MAE metric over the shared tasks."""
+    errors = error_by_task(estimates, truths, strict)
+    return sum(errors.values()) / len(errors)
+
+
+def root_mean_squared_error(
+    estimates: Mapping[TaskId, float],
+    truths: Mapping[TaskId, float],
+    strict: bool = False,
+) -> float:
+    """RMSE over the shared tasks — heavier penalty on large misses."""
+    errors = error_by_task(estimates, truths, strict)
+    return (sum(err**2 for err in errors.values()) / len(errors)) ** 0.5

@@ -1,0 +1,160 @@
+"""Sybil-detection metrics: scoring a grouping as a detector.
+
+Beyond aggregation accuracy, a platform cares *which accounts* are
+flagged: non-singleton groups are the framework's suspicion signal
+(Section IV-A — suspicious accounts are down-weighted, not banned, but a
+reward-paying platform will audit them).  This module scores a
+:class:`~repro.core.types.Grouping` against the ground-truth Sybil
+account set as a binary detector, and against the true accounts-per-user
+partition as a pairwise classifier.
+
+Two complementary views:
+
+* **account-level** (:func:`detection_report`): an account is *flagged*
+  iff it sits in a non-singleton group.  Precision = flagged accounts
+  that are truly Sybil; recall = Sybil accounts flagged.
+* **pair-level** (:func:`pairwise_report`): over all account pairs,
+  predicted-same-user vs. truly-same-user.  This is the decomposed view
+  of the Rand index and localizes *which* kind of error a method makes
+  (false merges vs. false splits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import AbstractSet, FrozenSet
+
+from repro.core.types import AccountId, Grouping
+from repro.ml.metrics import pair_confusion
+
+
+@dataclass(frozen=True)
+class DetectionReport:
+    """Binary detection scores for flagged (non-singleton-grouped) accounts.
+
+    Attributes
+    ----------
+    true_positives, false_positives, false_negatives, true_negatives:
+        Account counts by flag status vs. ground truth.
+    """
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of flagged accounts that are truly Sybil (1.0 if none flagged)."""
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of Sybil accounts that were flagged (1.0 if none exist)."""
+        sybil = self.true_positives + self.false_negatives
+        return self.true_positives / sybil if sybil else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of accounts classified correctly."""
+        total = (
+            self.true_positives
+            + self.false_positives
+            + self.false_negatives
+            + self.true_negatives
+        )
+        return (self.true_positives + self.true_negatives) / total if total else 1.0
+
+
+def flagged_accounts(grouping: Grouping) -> FrozenSet[AccountId]:
+    """Accounts in non-singleton groups — the grouping's suspicion set."""
+    return frozenset(
+        account
+        for group in grouping.non_singleton_groups()
+        for account in group
+    )
+
+
+def detection_report(
+    grouping: Grouping, sybil_accounts: AbstractSet[AccountId]
+) -> DetectionReport:
+    """Score the grouping as a Sybil-account detector.
+
+    Parameters
+    ----------
+    grouping:
+        The account partition produced by a grouping method.
+    sybil_accounts:
+        Ground-truth set of attacker-controlled accounts.
+    """
+    flagged = flagged_accounts(grouping)
+    everyone = grouping.accounts
+    sybil = frozenset(sybil_accounts) & everyone
+    tp = len(flagged & sybil)
+    fp = len(flagged - sybil)
+    fn = len(sybil - flagged)
+    tn = len(everyone) - tp - fp - fn
+    return DetectionReport(
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        true_negatives=tn,
+    )
+
+
+@dataclass(frozen=True)
+class PairwiseReport:
+    """Pair-level confusion of predicted-same-user vs. truly-same-user.
+
+    ``false_merges`` are pairs the method put together that belong to
+    different users (the dangerous error: a legitimate account gets
+    down-weighted); ``false_splits`` are same-user pairs the method
+    missed (the attack slips through partially).
+    """
+
+    true_merges: int
+    false_merges: int
+    false_splits: int
+    true_splits: int
+
+    @property
+    def merge_precision(self) -> float:
+        """Of pairs grouped together, the fraction truly same-user."""
+        predicted = self.true_merges + self.false_merges
+        return self.true_merges / predicted if predicted else 1.0
+
+    @property
+    def merge_recall(self) -> float:
+        """Of truly same-user pairs, the fraction grouped together."""
+        actual = self.true_merges + self.false_splits
+        return self.true_merges / actual if actual else 1.0
+
+
+def pairwise_report(grouping: Grouping, truth: Grouping) -> PairwiseReport:
+    """Pair-level confusion between a grouping and the true partition.
+
+    Only accounts covered by *both* partitions are scored.
+    """
+    common = sorted(grouping.accounts & truth.accounts)
+    if not common:
+        raise ValueError("groupings share no accounts")
+    predicted = grouping.restricted_to(common).as_labels(common)
+    actual = truth.restricted_to(common).as_labels(common)
+    # pair_confusion(a, b): a = together in both, b = together in A only,
+    # c = together in B only, d = apart in both.  With A = predicted:
+    together_both, pred_only, actual_only, apart_both = pair_confusion(
+        predicted, actual
+    )
+    return PairwiseReport(
+        true_merges=together_both,
+        false_merges=pred_only,
+        false_splits=actual_only,
+        true_splits=apart_both,
+    )

@@ -1,0 +1,36 @@
+"""Machine-learning substrate implemented from scratch.
+
+AG-FP clusters device fingerprints with k-means, estimates the cluster
+count with the elbow method, and the paper visualizes fingerprints in the
+first two principal components (Figs. 2 and 8).  This package provides all
+three building blocks plus the clustering-quality metrics used in the
+evaluation (Adjusted Rand Index, Fig. 6).
+
+No scikit-learn: k-means (with k-means++ seeding), PCA (via SVD) and the
+metrics are implemented here so the whole pipeline is self-contained.
+"""
+
+from repro.ml.elbow import ElbowResult, estimate_k_elbow, sse_curve
+from repro.ml.kmeans import KMeans, KMeansResult
+from repro.ml.metrics import (
+    adjusted_rand_index,
+    pair_confusion,
+    rand_index,
+    silhouette_score,
+    sum_squared_errors,
+)
+from repro.ml.pca import PCA
+
+__all__ = [
+    "ElbowResult",
+    "KMeans",
+    "KMeansResult",
+    "PCA",
+    "adjusted_rand_index",
+    "estimate_k_elbow",
+    "pair_confusion",
+    "rand_index",
+    "silhouette_score",
+    "sse_curve",
+    "sum_squared_errors",
+]

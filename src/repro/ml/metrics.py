@@ -1,0 +1,140 @@
+"""Clustering-quality metrics.
+
+The evaluation compares account groupings against the ground-truth
+user→accounts partition with the **Adjusted Rand Index** (Hubert & Arabie
+1985, the paper's reference [4]); Fig. 6 is an ARI comparison of the three
+grouping methods.  This module implements ARI (and the plain Rand index)
+from the pair-confusion counts, plus the SSE and silhouette diagnostics
+used around k-means.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Hashable, Sequence, Tuple
+
+import numpy as np
+
+
+def _check_labelings(
+    labels_a: Sequence[Hashable], labels_b: Sequence[Hashable]
+) -> Tuple[Sequence[Hashable], Sequence[Hashable]]:
+    if len(labels_a) != len(labels_b):
+        raise ValueError(
+            f"labelings must have equal length, got {len(labels_a)} and {len(labels_b)}"
+        )
+    if len(labels_a) == 0:
+        raise ValueError("labelings must be non-empty")
+    return labels_a, labels_b
+
+
+def pair_confusion(
+    labels_a: Sequence[Hashable], labels_b: Sequence[Hashable]
+) -> Tuple[int, int, int, int]:
+    """Pair-counting confusion ``(a, b, c, d)`` between two partitions.
+
+    Over all unordered item pairs:
+
+    * ``a`` — together in both partitions,
+    * ``b`` — together in A, apart in B,
+    * ``c`` — apart in A, together in B,
+    * ``d`` — apart in both.
+
+    Computed from the contingency table in O(n + table) time rather than
+    enumerating the O(n^2) pairs.
+    """
+    _check_labelings(labels_a, labels_b)
+    contingency: Counter = Counter(zip(labels_a, labels_b))
+    n = len(labels_a)
+    sum_squares = sum(count * count for count in contingency.values())
+    row_totals: Counter = Counter(labels_a)
+    col_totals: Counter = Counter(labels_b)
+    sum_rows = sum(count * count for count in row_totals.values())
+    sum_cols = sum(count * count for count in col_totals.values())
+
+    pairs_total = n * (n - 1) // 2
+    a = (sum_squares - n) // 2
+    b = (sum_rows - sum_squares) // 2
+    c = (sum_cols - sum_squares) // 2
+    d = pairs_total - a - b - c
+    return a, b, c, d
+
+
+def rand_index(labels_a: Sequence[Hashable], labels_b: Sequence[Hashable]) -> float:
+    """The (unadjusted) Rand index: fraction of concordant pairs."""
+    a, b, c, d = pair_confusion(labels_a, labels_b)
+    total = a + b + c + d
+    if total == 0:
+        # Single item: the two partitions agree vacuously.
+        return 1.0
+    return (a + d) / total
+
+
+def adjusted_rand_index(
+    labels_a: Sequence[Hashable], labels_b: Sequence[Hashable]
+) -> float:
+    """Adjusted Rand Index in [-1, 1]; 1 = identical partitions.
+
+    ARI corrects the Rand index for chance agreement:
+
+    ``ARI = (RI - E[RI]) / (max(RI) - E[RI])``
+
+    using the hypergeometric expectation over random partitions with the
+    same cluster sizes.  When both partitions are trivial (all singletons
+    or one block) the index is defined as 1 if they are identical.
+    """
+    a, b, c, d = pair_confusion(labels_a, labels_b)
+    # Standard closed form in pair counts.
+    numerator = 2.0 * (a * d - b * c)
+    denominator = (a + b) * (b + d) + (a + c) * (c + d)
+    if denominator == 0:
+        # Degenerate: one (or both) partitions put every pair on the same
+        # side.  They either agree perfectly or not at all.
+        return 1.0 if (b == 0 and c == 0) else 0.0
+    return numerator / denominator
+
+
+def sum_squared_errors(points: np.ndarray, labels: np.ndarray, centroids: np.ndarray) -> float:
+    """SSE of a clustering: squared distance of points to their centroid."""
+    data = np.asarray(points, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    centroids = np.asarray(centroids, dtype=float)
+    if len(data) != len(labels):
+        raise ValueError("points and labels must have equal length")
+    return float(((data - centroids[labels]) ** 2).sum())
+
+
+def silhouette_score(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over all points.
+
+    For each point, ``s = (b - a) / max(a, b)`` where ``a`` is the mean
+    distance to its own cluster (excluding itself) and ``b`` the smallest
+    mean distance to another cluster.  Points in singleton clusters get
+    ``s = 0`` per convention.  Requires at least 2 clusters.
+    """
+    data = np.asarray(points, dtype=float)
+    labels = np.asarray(labels)
+    if len(data) != len(labels):
+        raise ValueError("points and labels must have equal length")
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ValueError("silhouette requires at least 2 clusters")
+    distances = np.sqrt(
+        ((data[:, np.newaxis, :] - data[np.newaxis, :, :]) ** 2).sum(axis=2)
+    )
+    scores = np.zeros(len(data))
+    for idx in range(len(data)):
+        own = labels == labels[idx]
+        own_size = own.sum()
+        if own_size <= 1:
+            scores[idx] = 0.0
+            continue
+        a = distances[idx, own].sum() / (own_size - 1)
+        b = np.inf
+        for cluster in unique:
+            if cluster == labels[idx]:
+                continue
+            members = labels == cluster
+            b = min(b, distances[idx, members].mean())
+        scores[idx] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())

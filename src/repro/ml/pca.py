@@ -1,0 +1,90 @@
+"""Principal component analysis via singular value decomposition.
+
+The paper visualizes device fingerprints "in the first two principal
+components' feature space" (Figs. 2 and 8).  This PCA centers the data,
+takes the SVD, and exposes projection plus explained-variance ratios.
+Components have a deterministic sign convention (largest-magnitude loading
+is positive), so projections are stable across runs and platforms.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import DataValidationError
+
+
+class PCA:
+    """Fit/transform principal component analysis.
+
+    Parameters
+    ----------
+    n_components:
+        Number of components to keep; defaults to ``min(n, d)``.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    components_:
+        ``(n_components, d)`` array of principal axes (rows).
+    explained_variance_:
+        Variance captured by each component.
+    explained_variance_ratio_:
+        Fraction of total variance per component.
+    mean_:
+        Per-feature mean removed before projection.
+    """
+
+    def __init__(self, n_components: Optional[int] = None):
+        if n_components is not None and n_components < 1:
+            raise ValueError(f"n_components must be >= 1, got {n_components}")
+        self._requested = n_components
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+        self.mean_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, points: np.ndarray) -> "PCA":
+        """Learn the principal axes of ``points`` (an ``(n, d)`` array)."""
+        data = np.asarray(points, dtype=float)
+        if data.ndim != 2:
+            raise DataValidationError(f"points must be 2-D, got shape {data.shape}")
+        n, d = data.shape
+        if n == 0:
+            raise DataValidationError("cannot fit PCA on an empty point set")
+        limit = min(n, d)
+        keep = limit if self._requested is None else min(self._requested, limit)
+
+        self.mean_ = data.mean(axis=0)
+        centered = data - self.mean_
+        # Economy SVD: centered = U S Vt; rows of Vt are principal axes.
+        _, singular, vt = np.linalg.svd(centered, full_matrices=False)
+        components = vt[:keep]
+        # Deterministic sign: make the largest-|loading| entry positive.
+        for row in components:
+            pivot = np.argmax(np.abs(row))
+            if row[pivot] < 0:
+                row *= -1.0
+        denominator = max(n - 1, 1)
+        variances = (singular**2) / denominator
+        total = variances.sum()
+        self.components_ = components
+        self.explained_variance_ = variances[:keep]
+        self.explained_variance_ratio_ = (
+            variances[:keep] / total if total > 0 else np.zeros(keep)
+        )
+        return self
+
+    def transform(self, points: np.ndarray) -> np.ndarray:
+        """Project points onto the fitted principal axes."""
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("PCA must be fitted before transform")
+        data = np.asarray(points, dtype=float)
+        return (data - self.mean_) @ self.components_.T
+
+    def fit_transform(self, points: np.ndarray) -> np.ndarray:
+        """Fit on ``points`` and return their projection."""
+        return self.fit(points).transform(points)

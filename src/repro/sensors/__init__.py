@@ -1,0 +1,45 @@
+"""MEMS sensor substrate: simulated devices and fingerprint captures.
+
+The paper's AG-FP rests on a physical fact (Section III-D): manufacturing
+imperfections give every accelerometer/gyroscope chip a slightly different
+gain and bias, so the signals two devices produce under identical motion
+differ measurably — and signals from *one* device stay consistent.
+
+We cannot use real hardware here, so this package simulates that physics:
+
+* :mod:`repro.sensors.device` — phone models (with model-level nominal
+  imperfection parameters) and individual :class:`MEMSDevice` chips drawn
+  around them; includes the Table IV phone inventory of the paper's
+  experiment;
+* :mod:`repro.sensors.streams` — synthesis of the *stationary hand-held*
+  capture the paper asks of users at sign-in (gravity + hand tremor +
+  sensor noise, passed through the chip's gain/bias/noise model);
+* :mod:`repro.sensors.fingerprint` — the capture session producing the four
+  streams AG-FP consumes.
+
+The key property preserved from the paper: captures from the same device
+cluster tightly, different phone models separate clearly, and devices of
+the *same* model are hard to tell apart (Fig. 8's observation).
+"""
+
+from repro.sensors.device import (
+    PAPER_PHONES,
+    PHONE_MODEL_CATALOG,
+    MEMSDevice,
+    PhoneModel,
+    build_paper_inventory,
+)
+from repro.sensors.fingerprint import FingerprintCapture, capture_fingerprint
+from repro.sensors.streams import StationaryCaptureConfig, synthesize_stationary_motion
+
+__all__ = [
+    "PAPER_PHONES",
+    "PHONE_MODEL_CATALOG",
+    "MEMSDevice",
+    "PhoneModel",
+    "FingerprintCapture",
+    "StationaryCaptureConfig",
+    "build_paper_inventory",
+    "capture_fingerprint",
+    "synthesize_stationary_motion",
+]

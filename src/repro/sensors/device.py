@@ -1,0 +1,301 @@
+"""Phone models and individual MEMS devices.
+
+Two levels of variation mirror the physics the paper relies on:
+
+* **model level** — each phone model ships a particular MEMS part with its
+  own nominal gain/bias characteristics (an iPhone 6S and a Nexus 6P use
+  different chips, so their signals differ a lot);
+* **chip level** — two devices of the *same* model differ only by small
+  manufacturing tolerances around the model's nominal values (so they are
+  hard to distinguish — exactly what Fig. 8 reports: "the centers of the
+  smartphones of the same model are very close").
+
+A :class:`MEMSDevice` applies the standard sensor error model per axis:
+
+``measured = gain * true + bias + noise``
+
+with white Gaussian noise.  All parameters are explicit so tests can pin
+them; :meth:`MEMSDevice.manufacture` draws a chip from its model's
+tolerance distribution using a caller-provided RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: Standard gravity, m/s^2 — the stationary accelerometer's true input.
+GRAVITY = 9.80665
+
+
+@dataclass(frozen=True)
+class PhoneModel:
+    """Nominal MEMS characteristics of one phone model.
+
+    Parameters
+    ----------
+    name, os:
+        Catalog identity (e.g. ``"iPhone 6S"``, ``"iOS"``).
+    accel_gain_nominal, gyro_gain_nominal:
+        Per-axis multiplicative gains of the model's reference chip
+        (unitless, near 1).
+    accel_bias_nominal, gyro_bias_nominal:
+        Per-axis additive offsets (m/s^2 resp. rad/s).
+    accel_gain_tolerance, accel_bias_tolerance,
+    gyro_gain_tolerance, gyro_bias_tolerance:
+        Standard deviations of chip-level manufacturing spread around the
+        nominal values.  Small relative to inter-model differences.
+    accel_noise, gyro_noise:
+        Nominal white-noise standard deviations of the model's sensor
+        part; individual chips draw theirs within ``noise_tolerance``
+        (relative) of the nominal.  The noise floor is itself a
+        fingerprint carrier: it shapes the spectral features.
+    noise_tolerance:
+        Relative chip-to-chip spread of the noise level.
+    accel_resolution, gyro_resolution:
+        Output quantization step of the model's sensor ADC (m/s^2 resp.
+        rad/s).  Resolution differs markedly across phone models (iPhones
+        report finer-grained motion data than most Android parts of the
+        era) and is identical for all devices of a model — a strong
+        model-level fingerprint in the spectral noise floor.
+    """
+
+    name: str
+    os: str
+    accel_gain_nominal: Tuple[float, float, float]
+    accel_bias_nominal: Tuple[float, float, float]
+    gyro_gain_nominal: Tuple[float, float, float]
+    gyro_bias_nominal: Tuple[float, float, float]
+    accel_gain_tolerance: float = 0.0005
+    accel_bias_tolerance: float = 0.002
+    gyro_gain_tolerance: float = 0.0005
+    gyro_bias_tolerance: float = 0.0008
+    accel_noise: float = 0.012
+    gyro_noise: float = 0.0018
+    noise_tolerance: float = 0.1
+    accel_resolution: float = 0.0024
+    gyro_resolution: float = 0.0011
+
+
+@dataclass(frozen=True)
+class MEMSDevice:
+    """One physical smartphone: a specific chip with fixed imperfections.
+
+    Construct with :meth:`manufacture` to draw a realistic chip, or
+    directly with explicit parameters for tests.
+    """
+
+    device_id: str
+    model: PhoneModel
+    accel_gain: Tuple[float, float, float]
+    accel_bias: Tuple[float, float, float]
+    gyro_gain: Tuple[float, float, float]
+    gyro_bias: Tuple[float, float, float]
+    accel_noise: float = 0.012
+    gyro_noise: float = 0.0018
+
+    @staticmethod
+    def manufacture(
+        device_id: str, model: PhoneModel, rng: np.random.Generator
+    ) -> "MEMSDevice":
+        """Draw a chip from the model's manufacturing-tolerance distribution."""
+        accel_gain = tuple(
+            float(g + rng.normal(0.0, model.accel_gain_tolerance))
+            for g in model.accel_gain_nominal
+        )
+        accel_bias = tuple(
+            float(b + rng.normal(0.0, model.accel_bias_tolerance))
+            for b in model.accel_bias_nominal
+        )
+        gyro_gain = tuple(
+            float(g + rng.normal(0.0, model.gyro_gain_tolerance))
+            for g in model.gyro_gain_nominal
+        )
+        gyro_bias = tuple(
+            float(b + rng.normal(0.0, model.gyro_bias_tolerance))
+            for b in model.gyro_bias_nominal
+        )
+        spread = model.noise_tolerance
+        return MEMSDevice(
+            device_id=device_id,
+            model=model,
+            accel_gain=accel_gain,  # type: ignore[arg-type]
+            accel_bias=accel_bias,  # type: ignore[arg-type]
+            gyro_gain=gyro_gain,  # type: ignore[arg-type]
+            gyro_bias=gyro_bias,  # type: ignore[arg-type]
+            accel_noise=float(model.accel_noise * rng.uniform(1 - spread, 1 + spread)),
+            gyro_noise=float(model.gyro_noise * rng.uniform(1 - spread, 1 + spread)),
+        )
+
+    # ------------------------------------------------------------------
+
+    def measure_accel(
+        self, true_accel: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Pass a true ``(3, T)`` acceleration through the chip's error model."""
+        return self._measure(
+            true_accel,
+            self.accel_gain,
+            self.accel_bias,
+            self.accel_noise,
+            self.model.accel_resolution,
+            rng,
+        )
+
+    def measure_gyro(
+        self, true_gyro: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Pass a true ``(3, T)`` angular rate through the chip's error model."""
+        return self._measure(
+            true_gyro,
+            self.gyro_gain,
+            self.gyro_bias,
+            self.gyro_noise,
+            self.model.gyro_resolution,
+            rng,
+        )
+
+    @staticmethod
+    def _measure(
+        true_signal: np.ndarray,
+        gain: Tuple[float, float, float],
+        bias: Tuple[float, float, float],
+        noise: float,
+        resolution: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        signal = np.asarray(true_signal, dtype=float)
+        if signal.ndim != 2 or signal.shape[0] != 3:
+            raise ValueError(f"true signal must have shape (3, T), got {signal.shape}")
+        gains = np.array(gain)[:, np.newaxis]
+        biases = np.array(bias)[:, np.newaxis]
+        analog = gains * signal + biases + rng.normal(0.0, noise, size=signal.shape)
+        if resolution <= 0:
+            return analog
+        return np.round(analog / resolution) * resolution
+
+
+def _model(
+    name: str,
+    os_name: str,
+    accel_gain: Tuple[float, float, float],
+    accel_bias: Tuple[float, float, float],
+    gyro_gain: Tuple[float, float, float],
+    gyro_bias: Tuple[float, float, float],
+    accel_noise: float = 0.012,
+    gyro_noise: float = 0.0018,
+    accel_resolution: float = 0.0024,
+    gyro_resolution: float = 0.0011,
+) -> PhoneModel:
+    return PhoneModel(
+        name=name,
+        os=os_name,
+        accel_gain_nominal=accel_gain,
+        accel_bias_nominal=accel_bias,
+        gyro_gain_nominal=gyro_gain,
+        gyro_bias_nominal=gyro_bias,
+        accel_noise=accel_noise,
+        gyro_noise=gyro_noise,
+        accel_resolution=accel_resolution,
+        gyro_resolution=gyro_resolution,
+    )
+
+
+#: Model catalog covering the paper's Table IV.  Nominal gains/biases are
+#: hand-spread so that models are separable (inter-model distances are an
+#: order of magnitude above the chip tolerances) — consistent with the
+#: measured separability reported by Das et al. (NDSS 2016).  The dominant
+#: pose-independent fingerprint carrier is the gyroscope bias vector
+#: (realistic uncalibrated MEMS gyro biases sit in the 0.01–0.05 rad/s
+#: range); accelerometer parameters contribute a secondary, noisier signal
+#: because hand pose re-projects them per capture.
+PHONE_MODEL_CATALOG: Dict[str, PhoneModel] = {
+    "iPhone SE": _model(
+        "iPhone SE", "iOS",
+        (1.012, 0.991, 1.006), (0.022, -0.018, 0.028),
+        (1.008, 0.994, 1.003), (0.021, -0.012, 0.016),
+        accel_noise=0.009, gyro_noise=0.0013,
+        accel_resolution=0.0024, gyro_resolution=0.0011,
+    ),
+    "iPhone 6": _model(
+        "iPhone 6", "iOS",
+        (0.987, 1.014, 0.995), (-0.025, 0.011, -0.022),
+        (0.991, 1.011, 0.996), (-0.017, 0.023, -0.009),
+        accel_noise=0.014, gyro_noise=0.0021,
+        accel_resolution=0.0029, gyro_resolution=0.0013,
+    ),
+    "iPhone 6S": _model(
+        "iPhone 6S", "iOS",
+        (1.006, 1.009, 0.988), (0.014, 0.027, -0.019),
+        (1.004, 1.007, 0.990), (0.008, 0.019, -0.024),
+        accel_noise=0.011, gyro_noise=0.0016,
+        accel_resolution=0.0024, gyro_resolution=0.0009,
+    ),
+    "iPhone 7": _model(
+        "iPhone 7", "iOS",
+        (0.994, 0.985, 1.012), (-0.011, -0.028, 0.017),
+        (0.996, 0.988, 1.009), (-0.026, -0.015, 0.011),
+        accel_noise=0.008, gyro_noise=0.0011,
+        accel_resolution=0.0020, gyro_resolution=0.0008,
+    ),
+    "iPhone X": _model(
+        "iPhone X", "iOS",
+        (1.016, 0.997, 0.992), (0.029, -0.014, -0.017),
+        (1.012, 0.998, 0.993), (0.018, -0.022, -0.007),
+        accel_noise=0.007, gyro_noise=0.0009,
+        accel_resolution=0.0018, gyro_resolution=0.0007,
+    ),
+    "Nexus 6P": _model(
+        "Nexus 6P", "Android",
+        (0.982, 1.005, 1.017), (-0.021, 0.023, 0.012),
+        (0.987, 1.003, 1.013), (-0.013, 0.010, 0.025),
+        accel_noise=0.019, gyro_noise=0.0030,
+        accel_resolution=0.0096, gyro_resolution=0.0027,
+    ),
+    "LG G5": _model(
+        "LG G5", "Android",
+        (1.009, 0.983, 1.001), (0.016, -0.028, 0.015),
+        (1.006, 0.986, 1.001), (0.024, -0.019, 0.005),
+        accel_noise=0.024, gyro_noise=0.0038,
+        accel_resolution=0.0150, gyro_resolution=0.0040,
+    ),
+    "Nexus 5": _model(
+        "Nexus 5", "Android",
+        (0.991, 1.018, 0.984), (-0.018, 0.025, -0.029),
+        (0.993, 1.014, 0.989), (-0.009, 0.014, 0.020),
+        accel_noise=0.030, gyro_noise=0.0050,
+        accel_resolution=0.0384, gyro_resolution=0.0053,
+    ),
+}
+
+#: Table IV of the paper: the 11 smartphones used in the experiment, as
+#: ``(model name, quantity)``.  One iPhone 6S conducts Attack-I; one iPhone
+#: SE and one Nexus 6P conduct Attack-II.
+PAPER_PHONES: Tuple[Tuple[str, int], ...] = (
+    ("iPhone SE", 1),
+    ("iPhone 6", 1),
+    ("iPhone 6S", 2),
+    ("iPhone 7", 1),
+    ("iPhone X", 1),
+    ("Nexus 6P", 3),
+    ("LG G5", 1),
+    ("Nexus 5", 1),
+)
+
+
+def build_paper_inventory(rng: np.random.Generator) -> List[MEMSDevice]:
+    """Manufacture the 11 physical devices of Table IV.
+
+    Device ids follow ``<model-slug>-<ordinal>`` (e.g. ``nexus-6p-2``).
+    """
+    devices: List[MEMSDevice] = []
+    for model_name, quantity in PAPER_PHONES:
+        model = PHONE_MODEL_CATALOG[model_name]
+        slug = model_name.lower().replace(" ", "-")
+        for ordinal in range(1, quantity + 1):
+            devices.append(
+                MEMSDevice.manufacture(f"{slug}-{ordinal}", model, rng)
+            )
+    return devices

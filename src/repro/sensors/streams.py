@@ -1,0 +1,153 @@
+"""Synthesis of the stationary hand-held capture motion.
+
+The paper's protocol (Section V-A): "we ask users to hold the smartphones
+in hand for 6 seconds when they sign in the system", keeping the device
+(nearly) stationary so that the signal content is dominated by the chip's
+own imperfections rather than by motion.
+
+The *true* physical input during such a capture is:
+
+* **acceleration** — the gravity vector, rotated into the device frame by
+  whatever orientation the hand holds it at, plus a low-frequency,
+  low-amplitude physiological hand tremor (literature places it around
+  8–12 Hz with mm/s^2-scale amplitude);
+* **angular rate** — the small rotational component of the same tremor.
+
+:func:`synthesize_stationary_motion` generates that ground-truth ``(3, T)``
+pair; the chip error model of :class:`~repro.sensors.device.MEMSDevice`
+then turns it into what the platform actually records.  Orientation and
+tremor phases are drawn per capture (a user never holds the phone twice in
+exactly the same way), which is what makes fingerprinting non-trivial: the
+classifier must key on chip imperfections, not on pose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.sensors.device import GRAVITY
+
+
+@dataclass(frozen=True)
+class StationaryCaptureConfig:
+    """Physical parameters of the simulated sign-in capture.
+
+    Parameters
+    ----------
+    duration:
+        Capture length in seconds (paper: 6 s).
+    sample_rate:
+        Sensor sampling rate in Hz (typical browser motion-event rate).
+    tremor_frequency:
+        Center frequency of the physiological hand tremor, Hz.
+    tremor_accel_amplitude:
+        Peak linear-acceleration amplitude of the tremor, m/s^2.
+    tremor_gyro_amplitude:
+        Peak angular-rate amplitude of the tremor, rad/s.
+    """
+
+    duration: float = 6.0
+    sample_rate: float = 50.0
+    tremor_frequency: float = 9.0
+    tremor_accel_amplitude: float = 0.03
+    tremor_gyro_amplitude: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration}")
+        if self.sample_rate <= 0:
+            raise ValueError(f"sample_rate must be positive, got {self.sample_rate}")
+
+    @property
+    def samples(self) -> int:
+        """Number of samples in one capture."""
+        return max(2, int(round(self.duration * self.sample_rate)))
+
+
+#: Standard deviation of the hand-pose tilt away from screen-up, radians.
+#: A capture is taken while looking at the sign-in screen, so the phone is
+#: held roughly flat with a modest wobble (~12 degrees).
+POSE_TILT_STD = 0.2
+
+
+def _random_orientation(rng: np.random.Generator) -> np.ndarray:
+    """Device attitude for a hand-held, screen-up capture.
+
+    Free yaw (people face any direction) composed with a small random
+    tilt away from screen-up.  Gravity therefore lands near the device's
+    z-axis with a per-capture wobble — enough that fingerprinting cannot
+    cheat off a fixed pose, small enough that the pose does not drown the
+    chip signal (users looking at a sign-in screen do hold the phone
+    roughly flat).
+    """
+    yaw = rng.uniform(0.0, 2 * np.pi)
+    cos_y, sin_y = np.cos(yaw), np.sin(yaw)
+    rot_yaw = np.array([[cos_y, -sin_y, 0.0], [sin_y, cos_y, 0.0], [0.0, 0.0, 1.0]])
+    tilt = abs(rng.normal(0.0, POSE_TILT_STD))
+    direction = rng.uniform(0.0, 2 * np.pi)
+    axis = np.array([np.cos(direction), np.sin(direction), 0.0])
+    # Rodrigues' rotation about the in-plane axis by the tilt angle.
+    k = axis
+    kx = np.array(
+        [[0.0, -k[2], k[1]], [k[2], 0.0, -k[0]], [-k[1], k[0], 0.0]]
+    )
+    rot_tilt = np.eye(3) + np.sin(tilt) * kx + (1 - np.cos(tilt)) * (kx @ kx)
+    return rot_tilt @ rot_yaw
+
+
+def _tremor(
+    samples: int,
+    sample_rate: float,
+    center_frequency: float,
+    amplitude: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """A ``(3, T)`` band-limited tremor signal around the center frequency.
+
+    Modeled as three independent sinusoids with per-axis random frequency
+    jitter, phase and amplitude, plus a little broadband component.
+    """
+    t = np.arange(samples) / sample_rate
+    signal = np.empty((3, samples))
+    for axis in range(3):
+        frequency = center_frequency * rng.uniform(0.95, 1.05)
+        phase = rng.uniform(0.0, 2 * np.pi)
+        scale = amplitude * rng.uniform(0.95, 1.0)
+        broadband = rng.normal(0.0, amplitude * 0.05, size=samples)
+        signal[axis] = scale * np.sin(2 * np.pi * frequency * t + phase) + broadband
+    return signal
+
+
+def synthesize_stationary_motion(
+    config: StationaryCaptureConfig, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Ground-truth (acceleration, angular rate) of one sign-in capture.
+
+    Returns
+    -------
+    (true_accel, true_gyro):
+        Two ``(3, T)`` arrays in the device frame: gravity (under a random
+        hand orientation) plus tremor acceleration, and the tremor's
+        angular rate.
+    """
+    samples = config.samples
+    attitude = _random_orientation(rng)
+    gravity_device = attitude @ np.array([0.0, 0.0, GRAVITY])
+    true_accel = gravity_device[:, np.newaxis] + _tremor(
+        samples,
+        config.sample_rate,
+        config.tremor_frequency,
+        config.tremor_accel_amplitude,
+        rng,
+    )
+    true_gyro = _tremor(
+        samples,
+        config.sample_rate,
+        config.tremor_frequency,
+        config.tremor_gyro_amplitude,
+        rng,
+    )
+    return true_accel, true_gyro

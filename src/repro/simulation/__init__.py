@@ -1,0 +1,59 @@
+"""MCS world simulator: tasks, users, Sybil attackers, full scenarios.
+
+The paper evaluates on a real-world campaign (10 POIs, 8 legitimate
+volunteers, 2 Sybil attackers with 5 accounts each — one Attack-I, one
+Attack-II).  This package synthesizes statistically equivalent campaigns:
+
+* :mod:`repro.simulation.world` — POIs with Wi-Fi RSS ground truth;
+* :mod:`repro.simulation.trajectories` — walking routes and timing;
+* :mod:`repro.simulation.users` — legitimate-user sensing behaviour;
+* :mod:`repro.simulation.attackers` — Attack-I / Attack-II behaviour and
+  fabrication strategies;
+* :mod:`repro.simulation.scenario` — the campaign builder producing a
+  :class:`~repro.simulation.scenario.Scenario` (dataset + fingerprints +
+  ground-truth partitions), including the paper's exact setup.
+"""
+
+from repro.simulation.attackers import (
+    AttackerConfig,
+    AttackType,
+    ConstantFabrication,
+    FabricationStrategy,
+    OffsetFabrication,
+    ReplayFabrication,
+    SybilAttacker,
+)
+from repro.simulation.scenario import (
+    PaperScenarioConfig,
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+)
+from repro.simulation.mobility import ROUTE_STRATEGIES, random_waypoint_route, route_for_strategy, route_length
+from repro.simulation.trajectories import WalkingTrace, plan_route
+from repro.simulation.users import LegitimateUser, UserConfig
+from repro.simulation.world import World, make_wifi_world
+
+__all__ = [
+    "AttackType",
+    "AttackerConfig",
+    "ConstantFabrication",
+    "FabricationStrategy",
+    "LegitimateUser",
+    "OffsetFabrication",
+    "PaperScenarioConfig",
+    "ROUTE_STRATEGIES",
+    "ReplayFabrication",
+    "Scenario",
+    "ScenarioConfig",
+    "SybilAttacker",
+    "UserConfig",
+    "WalkingTrace",
+    "World",
+    "build_scenario",
+    "make_wifi_world",
+    "random_waypoint_route",
+    "route_for_strategy",
+    "route_length",
+    "plan_route",
+]

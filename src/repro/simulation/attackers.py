@@ -1,0 +1,288 @@
+"""Sybil attacker behaviour: Attack-I and Attack-II (Section III-C).
+
+A Sybil attacker is one physical user who "performs a task once but
+submits data multiple times under different accounts".  The two scenarios
+the paper characterizes:
+
+* **Attack-I** — one device, many accounts.  The attacker walks the route
+  once, then re-submits from each account after switching, so all
+  accounts share the device fingerprint and the timestamps differ only by
+  the account-switch delay.
+* **Attack-II** — several devices, many accounts.  Same behaviour, but
+  accounts are spread over the devices, so fingerprints no longer betray
+  the common owner — only task sets and timing do.
+
+What the attacker submits is a :class:`FabricationStrategy`:
+
+* :class:`ConstantFabrication` — a malicious user pushing every attacked
+  task toward a target value (the paper's −50 dBm "strong Wi-Fi" lie);
+* :class:`OffsetFabrication` — truth plus a constant shove (a subtler
+  manipulation that tracks plausibility);
+* :class:`ReplayFabrication` — a rapacious user duplicating its one honest
+  measurement to farm rewards without extra effort.
+
+Timestamps are *never* fabricated (the paper assumes timestamp forgery is
+detectable), so account-switch delays are honest wall-clock gaps — the
+signal AG-TR exploits.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.types import AccountId, Observation, Task
+from repro.sensors.device import MEMSDevice
+from repro.simulation.trajectories import WalkingTrace, plan_route, walk_route
+from repro.simulation.world import World
+
+
+class AttackType(enum.Enum):
+    """Which Sybil scenario an attacker realizes."""
+
+    SINGLE_DEVICE = "attack-I"
+    MULTI_DEVICE = "attack-II"
+
+
+class FabricationStrategy(abc.ABC):
+    """How an attacker chooses the value each account submits."""
+
+    @abc.abstractmethod
+    def value(
+        self,
+        truth: float,
+        honest_measurement: float,
+        account_index: int,
+        rng: np.random.Generator,
+    ) -> float:
+        """The datum one account submits for one task.
+
+        Parameters
+        ----------
+        truth:
+            The task's hidden ground truth (the attacker performed the
+            task once, so it *could* know an honest value).
+        honest_measurement:
+            The attacker's one actual measurement of the task.
+        account_index:
+            Which of the attacker's accounts is submitting (0-based) —
+            lets strategies vary the copies slightly ("possibly after
+            simple modification").
+        rng:
+            Random source for per-copy perturbation.
+        """
+
+
+@dataclass(frozen=True)
+class ConstantFabrication(FabricationStrategy):
+    """Malicious: push every attacked task toward ``target`` (e.g. −50 dBm).
+
+    ``per_copy_jitter`` adds a small perturbation per account so copies
+    are not bit-identical (the paper's "simple modification").
+    """
+
+    target: float = -50.0
+    per_copy_jitter: float = 0.0
+
+    def value(
+        self,
+        truth: float,
+        honest_measurement: float,
+        account_index: int,
+        rng: np.random.Generator,
+    ) -> float:
+        return self.target + float(rng.normal(0.0, self.per_copy_jitter))
+
+
+@dataclass(frozen=True)
+class OffsetFabrication(FabricationStrategy):
+    """Malicious but subtle: submit ``truth + offset`` per attacked task."""
+
+    offset: float = 20.0
+    per_copy_jitter: float = 0.0
+
+    def value(
+        self,
+        truth: float,
+        honest_measurement: float,
+        account_index: int,
+        rng: np.random.Generator,
+    ) -> float:
+        return truth + self.offset + float(rng.normal(0.0, self.per_copy_jitter))
+
+
+@dataclass(frozen=True)
+class ReplayFabrication(FabricationStrategy):
+    """Rapacious: every account replays the one honest measurement."""
+
+    per_copy_jitter: float = 0.2
+
+    def value(
+        self,
+        truth: float,
+        honest_measurement: float,
+        account_index: int,
+        rng: np.random.Generator,
+    ) -> float:
+        return honest_measurement + float(rng.normal(0.0, self.per_copy_jitter))
+
+
+@dataclass(frozen=True)
+class AttackerConfig:
+    """Behavioural parameters of one Sybil attacker.
+
+    Parameters
+    ----------
+    n_accounts:
+        Accounts under the attacker's control (paper: 5).
+    activeness:
+        Fraction of tasks attacked (Eq. 9 for each of its accounts, which
+        share one task set).
+    fabrication:
+        The value strategy (default: the paper's −50 dBm constant lie).
+    switch_delay_range:
+        ``(low, high)`` seconds between consecutive accounts' submissions
+        of the same task — the cost of logging out/in or swapping phones.
+    measurement_noise:
+        Noise of the attacker's one honest measurement (only matters for
+        :class:`ReplayFabrication`).
+    walking_speed, sensing_duration, min_tasks:
+        As for legitimate users.
+    """
+
+    n_accounts: int = 5
+    activeness: float = 0.5
+    fabrication: FabricationStrategy = field(default_factory=ConstantFabrication)
+    switch_delay_range: Tuple[float, float] = (30.0, 90.0)
+    measurement_noise: float = 2.0
+    walking_speed: float = 1.4
+    sensing_duration: float = 30.0
+    min_tasks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_accounts < 1:
+            raise ValueError(f"n_accounts must be >= 1, got {self.n_accounts}")
+        if not 0 < self.activeness <= 1:
+            raise ValueError(f"activeness must be in (0, 1], got {self.activeness}")
+        low, high = self.switch_delay_range
+        if low < 0 or high < low:
+            raise ValueError(
+                f"switch_delay_range must be 0 <= low <= high, got {self.switch_delay_range}"
+            )
+
+    def task_count(self, n_tasks: int) -> int:
+        """Number of tasks the attacker hits out of ``n_tasks``."""
+        wanted = int(round(self.activeness * n_tasks))
+        return max(min(self.min_tasks, n_tasks), min(wanted, n_tasks))
+
+
+@dataclass
+class SybilAttacker:
+    """One Sybil attacker: several accounts over one or more devices.
+
+    Attributes
+    ----------
+    user_id:
+        Physical-person identity (ground truth for grouping evaluation).
+    account_ids:
+        The attacker's accounts, in submission order.
+    devices:
+        One device (Attack-I) or several (Attack-II).  Accounts map to
+        devices round-robin via :meth:`device_for_account`.
+    config:
+        Behavioural parameters.
+    """
+
+    user_id: str
+    account_ids: Tuple[AccountId, ...]
+    devices: Tuple[MEMSDevice, ...]
+    config: AttackerConfig
+
+    def __post_init__(self) -> None:
+        if len(self.account_ids) != self.config.n_accounts:
+            raise ValueError(
+                f"{self.config.n_accounts} accounts configured but "
+                f"{len(self.account_ids)} ids given"
+            )
+        if not self.devices:
+            raise ValueError("attacker needs at least one device")
+
+    @property
+    def attack_type(self) -> AttackType:
+        """Attack-I iff the attacker owns a single device."""
+        return (
+            AttackType.SINGLE_DEVICE
+            if len(self.devices) == 1
+            else AttackType.MULTI_DEVICE
+        )
+
+    def device_for_account(self, account_index: int) -> MEMSDevice:
+        """Round-robin account→device assignment."""
+        return self.devices[account_index % len(self.devices)]
+
+    # ------------------------------------------------------------------
+
+    def choose_tasks(self, world: World, rng: np.random.Generator) -> List[Task]:
+        """The attacked task subset (shared across all accounts)."""
+        count = self.config.task_count(len(world.tasks))
+        chosen = rng.choice(len(world.tasks), size=count, replace=False)
+        return [world.tasks[int(index)] for index in sorted(chosen)]
+
+    def perform(
+        self,
+        world: World,
+        start_time: float,
+        rng: np.random.Generator,
+        tasks: Optional[List[Task]] = None,
+    ) -> Tuple[List[Observation], WalkingTrace]:
+        """Walk the route once, then submit per account with switch delays.
+
+        Account ``i``'s submission for a task trails the physical
+        measurement by the sum of ``i`` switch delays (accounts submit in
+        a fixed rotation at each POI), so all accounts share the task
+        *sequence* while their timestamp series are near-parallel — the
+        trajectory signature AG-TR detects.
+        """
+        if tasks is None:
+            tasks = self.choose_tasks(world, rng)
+        start_position = (
+            float(rng.uniform(0, 500.0)),
+            float(rng.uniform(0, 500.0)),
+        )
+        route = plan_route(tasks, start_position)
+        trace = walk_route(
+            route,
+            start_position,
+            start_time,
+            self.config.walking_speed,
+            self.config.sensing_duration,
+            rng,
+        )
+        low, high = self.config.switch_delay_range
+        observations: List[Observation] = []
+        # Each account's submissions must follow the route order: one
+        # person operates the accounts sequentially and cannot submit a
+        # measurement before making it.  Track a per-account clock floor.
+        last_submission: Dict[AccountId, float] = {}
+        for task_id, measured_at in zip(trace.task_order, trace.completion_times):
+            truth = world.truth(task_id)
+            honest = truth + float(rng.normal(0.0, self.config.measurement_noise))
+            clock = measured_at
+            for index, account in enumerate(self.account_ids):
+                if index > 0:
+                    clock += float(rng.uniform(low, high))
+                when = max(clock, last_submission.get(account, 0.0) + 1.0)
+                last_submission[account] = when
+                observations.append(
+                    Observation(
+                        account_id=account,
+                        task_id=task_id,
+                        value=self.config.fabrication.value(truth, honest, index, rng),
+                        timestamp=when,
+                    )
+                )
+        return observations, trace

@@ -1,0 +1,91 @@
+"""Alternative mobility models for trajectory generation.
+
+The default participant walks a nearest-neighbour route (people chain
+nearby POIs).  That is one point in mobility-model space; the MCS
+literature also evaluates against the **random waypoint** model, where a
+walker repeatedly picks a uniform random destination, walks there, and
+pauses.  This module provides both behind one interface so scenarios can
+vary how "structured" legitimate trajectories are:
+
+* structured routes (nearest-neighbour) make legitimate users *more*
+  similar to each other — the hard case for AG-TR's false-positive rate;
+* random-waypoint routes decorrelate honest users — the easy case.
+
+:func:`route_for_strategy` is the dispatch point used by
+:class:`~repro.simulation.users.LegitimateUser` (via ``UserConfig.route_strategy``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.types import Task
+from repro.simulation.trajectories import plan_route
+
+#: Recognized route strategies.
+ROUTE_STRATEGIES: Tuple[str, ...] = ("nearest", "random_waypoint")
+
+
+def random_waypoint_route(
+    tasks: Sequence[Task],
+    rng: np.random.Generator,
+) -> List[Task]:
+    """Visit the chosen tasks in uniformly random order.
+
+    Under the random waypoint model each successive destination is drawn
+    independently of position; restricted to a fixed task subset, that
+    reduces to a uniform random permutation of the visits.
+    """
+    order = rng.permutation(len(tasks))
+    return [tasks[int(index)] for index in order]
+
+
+def route_for_strategy(
+    strategy: str,
+    tasks: Sequence[Task],
+    start_position: Tuple[float, float],
+    rng: np.random.Generator,
+) -> List[Task]:
+    """Plan a visiting order under the named mobility model.
+
+    Parameters
+    ----------
+    strategy:
+        ``"nearest"`` (nearest-neighbour chaining, the default) or
+        ``"random_waypoint"``.
+    tasks:
+        The user's chosen task subset (all located).
+    start_position:
+        Where the walk begins (used by the nearest-neighbour model).
+    rng:
+        Randomness for the random-waypoint permutation.
+    """
+    if strategy == "nearest":
+        return plan_route(tasks, start_position)
+    if strategy == "random_waypoint":
+        for task in tasks:
+            if task.location is None:
+                raise ValueError(
+                    f"task {task.task_id!r} has no location; cannot route"
+                )
+        return random_waypoint_route(tasks, rng)
+    raise ValueError(
+        f"unknown route strategy {strategy!r}; expected one of {ROUTE_STRATEGIES}"
+    )
+
+
+def route_length(
+    route: Sequence[Task], start_position: Tuple[float, float]
+) -> float:
+    """Total walking distance of a planned route, meters."""
+    position = start_position
+    total = 0.0
+    for task in route:
+        assert task.location is not None
+        dx = task.location[0] - position[0]
+        dy = task.location[1] - position[1]
+        total += float((dx * dx + dy * dy) ** 0.5)
+        position = task.location
+    return total

@@ -1,0 +1,322 @@
+"""Campaign builder: from configuration to a complete MCS scenario.
+
+:func:`build_scenario` assembles everything a truth discovery experiment
+needs — world, observations, fingerprints, and the ground-truth partitions
+against which groupings are scored:
+
+* the **user partition** (accounts of one physical user together) — the
+  reference for Fig. 6's ARI;
+* the **device partition** (accounts sharing a device) — the best AG-FP
+  can possibly recover, since fingerprints see chips, not people.
+
+:class:`PaperScenarioConfig` reproduces Section V-A's setup: 10 Wi-Fi POIs,
+8 legitimate users with one account and one phone each, and 2 Sybil
+attackers with 5 accounts each — one running Attack-I on a single iPhone
+6S, one running Attack-II on an iPhone SE plus a Nexus 6P — with the
+activeness of each side as the swept knobs of Figs. 6 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple, Union
+
+import numpy as np
+
+from repro.core.dataset import SensingDataset
+from repro.core.types import AccountId, Grouping, Observation, TaskId
+from repro.sensors.device import (
+    PHONE_MODEL_CATALOG,
+    MEMSDevice,
+    build_paper_inventory,
+)
+from repro.sensors.fingerprint import FingerprintCapture, capture_fingerprint
+from repro.sensors.streams import StationaryCaptureConfig
+from repro.simulation.attackers import (
+    AttackerConfig,
+    ConstantFabrication,
+    SybilAttacker,
+)
+from repro.simulation.trajectories import WalkingTrace
+from repro.simulation.users import LegitimateUser, UserConfig
+from repro.simulation.world import World, make_wifi_world
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Full description of one synthetic MCS campaign.
+
+    Parameters
+    ----------
+    n_tasks:
+        Number of POIs.
+    legit_users:
+        One :class:`UserConfig` per legitimate user.
+    attackers:
+        One ``(AttackerConfig, n_devices)`` pair per Sybil attacker;
+        ``n_devices == 1`` realizes Attack-I, ``> 1`` Attack-II.
+    start_window:
+        Participants begin their walks at times uniform over
+        ``[0, start_window]`` seconds.  A wide window spreads legitimate
+        trajectories apart in time (as real volunteers are), which is the
+        temporal contrast AG-TR relies on.
+    capture:
+        Sign-in fingerprint capture parameters.
+    area_size:
+        Side of the square campus, meters.
+    """
+
+    n_tasks: int = 10
+    legit_users: Tuple[UserConfig, ...] = tuple(UserConfig() for _ in range(8))
+    attackers: Tuple[Tuple[AttackerConfig, int], ...] = (
+        (AttackerConfig(fabrication=ConstantFabrication(target=-50.0)), 1),
+        (AttackerConfig(fabrication=ConstantFabrication(target=-45.0)), 2),
+    )
+    start_window: float = 7200.0
+    capture: StationaryCaptureConfig = StationaryCaptureConfig()
+    area_size: float = 500.0
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 1:
+            raise ValueError(f"n_tasks must be >= 1, got {self.n_tasks}")
+        if self.start_window < 0:
+            raise ValueError(f"start_window must be >= 0, got {self.start_window}")
+        for _, n_devices in self.attackers:
+            if n_devices < 1:
+                raise ValueError("every attacker needs at least one device")
+
+
+@dataclass(frozen=True)
+class PaperScenarioConfig:
+    """Section V-A's experimental setup with its swept knobs exposed.
+
+    Parameters
+    ----------
+    legit_activeness:
+        Activeness of every legitimate user (the per-panel constant of
+        Figs. 6–7: 0.2, 0.5 or 1.0).
+    sybil_activeness:
+        Activeness of both Sybil attackers (the swept x-axis).
+    fabrication_targets:
+        The constant lie each attacker pushes (dBm); distinct values model
+        independent attackers.
+    n_tasks, n_legit, accounts_per_attacker:
+        Population sizes (paper: 10 / 8 / 5).
+    noise_std_range:
+        Legitimate users' measurement noise is drawn uniformly from this
+        range per user (their differing reliabilities).
+    """
+
+    legit_activeness: float = 0.5
+    sybil_activeness: float = 0.5
+    fabrication_targets: Tuple[float, ...] = (-50.0, -45.0)
+    n_tasks: int = 10
+    n_legit: int = 8
+    accounts_per_attacker: int = 5
+    noise_std_range: Tuple[float, float] = (1.0, 3.0)
+
+    def to_scenario_config(self, rng: np.random.Generator) -> ScenarioConfig:
+        """Materialize the per-user configs (drawing reliabilities)."""
+        low, high = self.noise_std_range
+        legit = tuple(
+            UserConfig(
+                activeness=self.legit_activeness,
+                noise_std=float(rng.uniform(low, high)),
+                bias=float(rng.normal(0.0, 0.5)),
+            )
+            for _ in range(self.n_legit)
+        )
+        # First attacker: Attack-I on one device; second: Attack-II on
+        # two devices — exactly the paper's population.  Additional
+        # targets (if configured) alternate the two attack types.
+        attackers: List[Tuple[AttackerConfig, int]] = []
+        for index, target in enumerate(self.fabrication_targets):
+            attackers.append(
+                (
+                    AttackerConfig(
+                        n_accounts=self.accounts_per_attacker,
+                        activeness=self.sybil_activeness,
+                        fabrication=ConstantFabrication(target=target),
+                    ),
+                    1 if index % 2 == 0 else 2,
+                )
+            )
+        return ScenarioConfig(
+            n_tasks=self.n_tasks,
+            legit_users=legit,
+            attackers=tuple(attackers),
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully realized campaign, ready for experiments.
+
+    Attributes
+    ----------
+    world:
+        The POIs and their hidden ground truths.
+    dataset:
+        Every submitted observation (legitimate + Sybil).
+    fingerprints:
+        One sign-in capture per account.
+    user_partition:
+        Ground truth accounts-per-physical-user partition (ARI reference).
+    device_partition:
+        Ground truth accounts-per-device partition (AG-FP's ceiling).
+    sybil_accounts:
+        All accounts controlled by Sybil attackers.
+    device_by_account:
+        Which physical device produced each account's fingerprint.
+    traces:
+        The walking trace of each physical user.
+    """
+
+    world: World
+    dataset: SensingDataset
+    fingerprints: Tuple[FingerprintCapture, ...]
+    user_partition: Grouping
+    device_partition: Grouping
+    sybil_accounts: frozenset
+    device_by_account: Mapping[AccountId, str]
+    traces: Mapping[str, WalkingTrace]
+
+    @property
+    def ground_truths(self) -> Mapping[TaskId, float]:
+        """Hidden per-task truths (for MAE evaluation only)."""
+        return self.world.ground_truths
+
+    def clean_dataset(self) -> SensingDataset:
+        """The dataset with every Sybil submission removed."""
+        return self.dataset.without_accounts(self.sybil_accounts)
+
+
+def _device_pool(rng: np.random.Generator) -> List[MEMSDevice]:
+    """Table IV inventory, ordered so attack devices are drawn first.
+
+    Order: the Attack-I iPhone 6S, then the Attack-II iPhone SE and Nexus
+    6P, then the eight legitimate phones.  :func:`build_scenario` extends
+    the pool by manufacturing additional chips (cycling the catalog) when
+    a configuration needs more than 11 devices.
+    """
+    inventory = {device.device_id: device for device in build_paper_inventory(rng)}
+    order = [
+        "iphone-6s-1",       # Attack-I (Table IV: iPhone 6S*)
+        "iphone-se-1",       # Attack-II (Table IV: iPhone SE**)
+        "nexus-6p-1",        # Attack-II (Table IV: Nexus 6P**)
+        "iphone-6-1",
+        "iphone-6s-2",
+        "iphone-7-1",
+        "iphone-x-1",
+        "nexus-6p-2",
+        "nexus-6p-3",
+        "lg-g5-1",
+        "nexus-5-1",
+    ]
+    return [inventory[device_id] for device_id in order]
+
+
+def build_scenario(
+    config: Union[ScenarioConfig, PaperScenarioConfig],
+    rng: np.random.Generator,
+) -> Scenario:
+    """Realize a campaign: draw devices, walks, observations, fingerprints.
+
+    All randomness flows through ``rng``; two calls with generators seeded
+    identically produce identical scenarios.
+    """
+    if isinstance(config, PaperScenarioConfig):
+        config = config.to_scenario_config(rng)
+
+    world = make_wifi_world(config.n_tasks, rng, area_size=config.area_size)
+    pool = _device_pool(rng)
+    catalog_cycle = list(PHONE_MODEL_CATALOG.values())
+
+    def next_device(counter: List[int]) -> MEMSDevice:
+        if pool:
+            return pool.pop(0)
+        model = catalog_cycle[counter[0] % len(catalog_cycle)]
+        counter[0] += 1
+        slug = model.name.lower().replace(" ", "-")
+        return MEMSDevice.manufacture(f"{slug}-extra-{counter[0]}", model, rng)
+
+    extra_counter = [0]
+
+    # Attackers first, so they receive the Table IV attack devices.
+    attackers: List[SybilAttacker] = []
+    for index, (attacker_config, n_devices) in enumerate(config.attackers, start=1):
+        devices = tuple(next_device(extra_counter) for _ in range(n_devices))
+        accounts = tuple(
+            f"s{index}a{account}" for account in range(1, attacker_config.n_accounts + 1)
+        )
+        attackers.append(
+            SybilAttacker(
+                user_id=f"sybil-{index}",
+                account_ids=accounts,
+                devices=devices,
+                config=attacker_config,
+            )
+        )
+
+    legit: List[LegitimateUser] = []
+    for index, user_config in enumerate(config.legit_users, start=1):
+        legit.append(
+            LegitimateUser(
+                user_id=f"legit-{index}",
+                account_id=f"u{index}",
+                device=next_device(extra_counter),
+                config=user_config,
+            )
+        )
+
+    # Walks and observations.
+    observations: List[Observation] = []
+    traces: Dict[str, WalkingTrace] = {}
+    for user in legit:
+        start = float(rng.uniform(0.0, config.start_window))
+        user_obs, trace = user.perform(world, start, rng)
+        observations.extend(user_obs)
+        traces[user.user_id] = trace
+    for attacker in attackers:
+        start = float(rng.uniform(0.0, config.start_window))
+        attacker_obs, trace = attacker.perform(world, start, rng)
+        observations.extend(attacker_obs)
+        traces[attacker.user_id] = trace
+
+    dataset = SensingDataset(world.tasks, observations)
+
+    # Sign-in fingerprints: one capture per account.
+    fingerprints: List[FingerprintCapture] = []
+    device_by_account: Dict[AccountId, str] = {}
+    for user in legit:
+        fingerprints.append(
+            capture_fingerprint(user.account_id, user.device, rng, config.capture)
+        )
+        device_by_account[user.account_id] = user.device.device_id
+    for attacker in attackers:
+        for account_index, account in enumerate(attacker.account_ids):
+            device = attacker.device_for_account(account_index)
+            fingerprints.append(
+                capture_fingerprint(account, device, rng, config.capture)
+            )
+            device_by_account[account] = device.device_id
+
+    user_groups = [[user.account_id] for user in legit] + [
+        list(attacker.account_ids) for attacker in attackers
+    ]
+    device_groups: Dict[str, List[AccountId]] = {}
+    for account, device_id in device_by_account.items():
+        device_groups.setdefault(device_id, []).append(account)
+
+    return Scenario(
+        world=world,
+        dataset=dataset,
+        fingerprints=tuple(fingerprints),
+        user_partition=Grouping.from_groups(user_groups),
+        device_partition=Grouping.from_groups(device_groups.values()),
+        sybil_accounts=frozenset(
+            account for attacker in attackers for account in attacker.account_ids
+        ),
+        device_by_account=device_by_account,
+        traces=traces,
+    )

@@ -1,0 +1,146 @@
+"""Walking routes and their timing.
+
+A participant visits a subset of POIs on foot.  We plan the visiting order
+with the nearest-neighbour heuristic (people chain nearby spots rather
+than criss-crossing campus), then roll the clock forward: walking time is
+distance over walking speed, and each measurement occupies a sensing
+dwell.  The result is a :class:`WalkingTrace` — the paper collected 54 of
+these — whose per-task completion times become the observation timestamps
+(and thus the raw material of AG-TR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.types import Task, TaskId
+
+
+@dataclass(frozen=True)
+class WalkingTrace:
+    """One walk through a set of POIs.
+
+    Attributes
+    ----------
+    task_order:
+        Visited task ids, in walking order.
+    arrival_times:
+        Seconds (since scenario start) at which the walker *arrives* at
+        each POI.
+    completion_times:
+        Seconds at which the measurement at each POI completes — these are
+        the submission timestamps.
+    start_position:
+        Where the walk began.
+    """
+
+    task_order: Tuple[TaskId, ...]
+    arrival_times: Tuple[float, ...]
+    completion_times: Tuple[float, ...]
+    start_position: Tuple[float, float]
+
+    def __post_init__(self) -> None:
+        if not (
+            len(self.task_order) == len(self.arrival_times) == len(self.completion_times)
+        ):
+            raise ValueError("trace fields must have equal lengths")
+        for arrive, complete in zip(self.arrival_times, self.completion_times):
+            if complete < arrive:
+                raise ValueError("completion cannot precede arrival")
+
+    @property
+    def duration(self) -> float:
+        """Total walk duration in seconds (0 for an empty trace)."""
+        if not self.completion_times:
+            return 0.0
+        return self.completion_times[-1]
+
+
+def plan_route(
+    tasks: Sequence[Task],
+    start_position: Tuple[float, float],
+) -> List[Task]:
+    """Nearest-neighbour visiting order over tasks with locations.
+
+    Ties (equidistant candidates) break on task id, so the route is
+    deterministic for a given start position.
+    """
+    remaining = list(tasks)
+    for task in remaining:
+        if task.location is None:
+            raise ValueError(f"task {task.task_id!r} has no location; cannot route")
+    route: List[Task] = []
+    position = start_position
+    while remaining:
+        remaining.sort(
+            key=lambda task: (
+                (task.location[0] - position[0]) ** 2
+                + (task.location[1] - position[1]) ** 2,
+                task.task_id,
+            )
+        )
+        nxt = remaining.pop(0)
+        route.append(nxt)
+        position = nxt.location  # type: ignore[assignment]
+    return route
+
+
+def walk_route(
+    route: Sequence[Task],
+    start_position: Tuple[float, float],
+    start_time: float,
+    walking_speed: float,
+    sensing_duration: float,
+    rng: np.random.Generator,
+    dwell_jitter: float = 0.3,
+) -> WalkingTrace:
+    """Roll the clock along a planned route.
+
+    Parameters
+    ----------
+    route:
+        Tasks in visiting order (all located).
+    start_position:
+        Walk origin.
+    start_time:
+        Seconds since scenario start at which walking begins.
+    walking_speed:
+        Meters per second (typical pedestrian: 1.2–1.6).
+    sensing_duration:
+        Mean seconds spent measuring at each POI.
+    rng:
+        Random source for dwell jitter.
+    dwell_jitter:
+        Relative jitter of the dwell time (0.3 → ±30%).
+    """
+    if walking_speed <= 0:
+        raise ValueError(f"walking_speed must be positive, got {walking_speed}")
+    if sensing_duration < 0:
+        raise ValueError(f"sensing_duration must be >= 0, got {sensing_duration}")
+    position = start_position
+    clock = start_time
+    task_order: List[TaskId] = []
+    arrivals: List[float] = []
+    completions: List[float] = []
+    for task in route:
+        assert task.location is not None
+        distance = (
+            (task.location[0] - position[0]) ** 2
+            + (task.location[1] - position[1]) ** 2
+        ) ** 0.5
+        clock += distance / walking_speed
+        arrivals.append(clock)
+        dwell = sensing_duration * float(rng.uniform(1 - dwell_jitter, 1 + dwell_jitter))
+        clock += max(dwell, 0.0)
+        completions.append(clock)
+        task_order.append(task.task_id)
+        position = task.location
+    return WalkingTrace(
+        task_order=tuple(task_order),
+        arrival_times=tuple(arrivals),
+        completion_times=tuple(completions),
+        start_position=start_position,
+    )

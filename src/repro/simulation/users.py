@@ -1,0 +1,166 @@
+"""Legitimate-user behaviour model.
+
+A legitimate participant (Section V-A): one account, one smartphone,
+performs a self-chosen subset of tasks — "according to its own preference
+with according activeness" — and reports honest but noisy measurements.
+The noise level is the user's *reliability*: the quantity truth discovery
+estimates through the weights.
+
+The task subset is drawn from a per-user preference distribution (a
+softmax over random per-user task affinities), the route is planned with
+the nearest-neighbour heuristic, and observations are
+``truth + bias + N(0, sigma)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.types import AccountId, Observation, Task
+from repro.sensors.device import MEMSDevice
+from repro.simulation.mobility import ROUTE_STRATEGIES, route_for_strategy
+from repro.simulation.trajectories import WalkingTrace, walk_route
+from repro.simulation.world import World
+
+
+@dataclass(frozen=True)
+class UserConfig:
+    """Behavioural parameters of one legitimate user.
+
+    Parameters
+    ----------
+    activeness:
+        Target fraction of tasks to perform (Eq. 9); clamped so that at
+        least :attr:`min_tasks` are done, matching the paper's "each
+        account has to perform at least two tasks".
+    noise_std:
+        Standard deviation (dBm) of honest measurement noise — the user's
+        (un)reliability.
+    bias:
+        Constant per-user measurement offset (cheap sensors read a little
+        high or low consistently).
+    walking_speed:
+        Meters per second.
+    sensing_duration:
+        Mean dwell per POI, seconds.
+    min_tasks:
+        Hard floor on the number of performed tasks.
+    route_strategy:
+        Mobility model for the visiting order: ``"nearest"`` (default,
+        nearest-neighbour chaining) or ``"random_waypoint"`` (uniform
+        random order; see :mod:`repro.simulation.mobility`).
+    """
+
+    activeness: float = 0.5
+    noise_std: float = 2.0
+    bias: float = 0.0
+    walking_speed: float = 1.4
+    sensing_duration: float = 30.0
+    min_tasks: int = 2
+    route_strategy: str = "nearest"
+
+    def __post_init__(self) -> None:
+        if not 0 < self.activeness <= 1:
+            raise ValueError(f"activeness must be in (0, 1], got {self.activeness}")
+        if self.noise_std < 0:
+            raise ValueError(f"noise_std must be >= 0, got {self.noise_std}")
+        if self.min_tasks < 1:
+            raise ValueError(f"min_tasks must be >= 1, got {self.min_tasks}")
+        if self.route_strategy not in ROUTE_STRATEGIES:
+            raise ValueError(
+                f"route_strategy must be one of {ROUTE_STRATEGIES}, "
+                f"got {self.route_strategy!r}"
+            )
+
+    def task_count(self, n_tasks: int) -> int:
+        """Number of tasks this user performs out of ``n_tasks``."""
+        wanted = int(round(self.activeness * n_tasks))
+        return max(min(self.min_tasks, n_tasks), min(wanted, n_tasks))
+
+
+@dataclass
+class LegitimateUser:
+    """One legitimate participant: an account bound to a device.
+
+    Attributes
+    ----------
+    user_id:
+        Physical-person identity (ground truth for grouping evaluation).
+    account_id:
+        The single platform account this user operates.
+    device:
+        The user's smartphone (source of the sign-in fingerprint).
+    config:
+        Behavioural parameters.
+    """
+
+    user_id: str
+    account_id: AccountId
+    device: MEMSDevice
+    config: UserConfig
+
+    def choose_tasks(self, world: World, rng: np.random.Generator) -> List[Task]:
+        """Draw the user's preferred task subset.
+
+        Preferences are a softmax over per-user Gumbel-perturbed task
+        scores — equivalent to sampling without replacement with random
+        per-user propensities, so different users favour different POIs.
+        """
+        count = self.config.task_count(len(world.tasks))
+        scores = rng.gumbel(size=len(world.tasks))
+        chosen = np.argsort(scores)[-count:]
+        return [world.tasks[int(index)] for index in sorted(chosen)]
+
+    def perform(
+        self,
+        world: World,
+        start_time: float,
+        rng: np.random.Generator,
+        tasks: Optional[List[Task]] = None,
+    ) -> Tuple[List[Observation], WalkingTrace]:
+        """Walk the campaign and produce honest observations.
+
+        Parameters
+        ----------
+        world:
+            The sensing world (tasks + hidden truths).
+        start_time:
+            When this user begins walking, seconds since scenario start.
+        rng:
+            Random source (task choice, route timing, measurement noise).
+        tasks:
+            Optional pre-chosen task subset (used by sweeps that fix
+            activeness); defaults to :meth:`choose_tasks`.
+        """
+        if tasks is None:
+            tasks = self.choose_tasks(world, rng)
+        start_position = (
+            float(rng.uniform(0, 1)) * 500.0,
+            float(rng.uniform(0, 1)) * 500.0,
+        )
+        route = route_for_strategy(
+            self.config.route_strategy, tasks, start_position, rng
+        )
+        trace = walk_route(
+            route,
+            start_position,
+            start_time,
+            self.config.walking_speed,
+            self.config.sensing_duration,
+            rng,
+        )
+        observations = [
+            Observation(
+                account_id=self.account_id,
+                task_id=task_id,
+                value=world.truth(task_id)
+                + self.config.bias
+                + float(rng.normal(0.0, self.config.noise_std)),
+                timestamp=when,
+            )
+            for task_id, when in zip(trace.task_order, trace.completion_times)
+        ]
+        return observations, trace

@@ -1,0 +1,131 @@
+"""The sensing world: POIs with ground-truth Wi-Fi signal strengths.
+
+The paper's tasks are "measuring the Wi-Fi signal strength at 10 Points of
+Interest" on a campus (Fig. 5).  A :class:`World` holds those POIs as
+:class:`~repro.core.types.Task` objects with planar coordinates, plus the
+ground truth ``d*_j`` per task — which, in the paper, is the average of
+many repeated reference measurements, and here is simply the generating
+parameter of the observation noise model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.core.types import Task, TaskId
+
+#: Realistic Wi-Fi RSS range (dBm) matching Table I's data.
+RSS_RANGE_DBM: Tuple[float, float] = (-90.0, -60.0)
+
+
+@dataclass(frozen=True)
+class World:
+    """A sensing region: tasks (POIs) and their hidden ground truths.
+
+    Attributes
+    ----------
+    tasks:
+        The POIs, each with a location.
+    ground_truths:
+        ``{task_id: d*_j}`` — hidden from every algorithm; used only by
+        the observation model and the evaluation metrics.
+    """
+
+    tasks: Tuple[Task, ...]
+    ground_truths: Mapping[TaskId, float]
+
+    def __post_init__(self) -> None:
+        task_ids = {task.task_id for task in self.tasks}
+        missing = task_ids - set(self.ground_truths)
+        if missing:
+            raise ValueError(f"tasks without ground truth: {sorted(missing)}")
+
+    @property
+    def task_ids(self) -> Tuple[TaskId, ...]:
+        """Task ids in declaration order."""
+        return tuple(task.task_id for task in self.tasks)
+
+    def task(self, task_id: TaskId) -> Task:
+        """Look up one task by id."""
+        for task in self.tasks:
+            if task.task_id == task_id:
+                return task
+        raise KeyError(task_id)
+
+    def truth(self, task_id: TaskId) -> float:
+        """The ground truth of one task."""
+        return self.ground_truths[task_id]
+
+
+def make_wifi_world(
+    n_tasks: int,
+    rng: np.random.Generator,
+    area_size: float = 500.0,
+    rss_range: Tuple[float, float] = RSS_RANGE_DBM,
+    min_separation: float = 30.0,
+) -> World:
+    """Generate a campus-like Wi-Fi measurement world.
+
+    POIs are placed uniformly in an ``area_size`` × ``area_size`` square,
+    rejecting placements closer than ``min_separation`` meters to an
+    existing POI (campus POIs are distinct buildings/spots, not a point
+    cloud).  Ground-truth RSS values are uniform over ``rss_range``.
+
+    Parameters
+    ----------
+    n_tasks:
+        Number of POIs (the paper uses 10).
+    rng:
+        Random source.
+    area_size:
+        Side of the square region in meters.
+    rss_range:
+        ``(low, high)`` dBm bounds for ground truths.
+    min_separation:
+        Minimum pairwise POI distance in meters (relaxed automatically if
+        the area cannot fit ``n_tasks`` points at that spacing).
+    """
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+    if area_size <= 0:
+        raise ValueError(f"area_size must be positive, got {area_size}")
+    low, high = rss_range
+    if low >= high:
+        raise ValueError(f"rss_range must be increasing, got {rss_range}")
+
+    positions: List[Tuple[float, float]] = []
+    separation = min_separation
+    attempts_left = 200 * n_tasks
+    while len(positions) < n_tasks:
+        candidate = (
+            float(rng.uniform(0, area_size)),
+            float(rng.uniform(0, area_size)),
+        )
+        crowded = any(
+            (candidate[0] - px) ** 2 + (candidate[1] - py) ** 2 < separation**2
+            for px, py in positions
+        )
+        if not crowded:
+            positions.append(candidate)
+        attempts_left -= 1
+        if attempts_left <= 0:
+            # The spacing constraint is infeasible at this density; halve
+            # it and keep going rather than looping forever.
+            separation /= 2.0
+            attempts_left = 200 * n_tasks
+
+    tasks = tuple(
+        Task(
+            task_id=f"T{j + 1}",
+            location=positions[j],
+            description=f"Wi-Fi RSS at POI {j + 1}",
+        )
+        for j in range(n_tasks)
+    )
+    truths: Dict[TaskId, float] = {
+        task.task_id: float(rng.uniform(low, high)) for task in tasks
+    }
+    return World(tasks=tasks, ground_truths=truths)

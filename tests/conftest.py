@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite.
+
+Heavyweight artifacts (full scenarios, fingerprint populations) are
+session-scoped: they are deterministic, read-only, and expensive enough
+that rebuilding them per test would dominate suite runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import SensingDataset
+from repro.experiments.paperdata import paper_example_dataset
+from repro.simulation.scenario import PaperScenarioConfig, Scenario, build_scenario
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh, fixed-seed generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def paper_dataset() -> SensingDataset:
+    """The Tables I + III worked example."""
+    return paper_example_dataset()
+
+
+@pytest.fixture
+def simple_dataset() -> SensingDataset:
+    """3 reliable accounts + 1 wild one over 3 tasks (no missing data)."""
+    return SensingDataset.from_matrix(
+        [
+            [10.0, 20.0, 30.0],
+            [10.5, 19.5, 30.2],
+            [9.8, 20.3, 29.9],
+            [50.0, -10.0, 80.0],
+        ],
+        account_ids=["good1", "good2", "good3", "wild"],
+    )
+
+
+@pytest.fixture(scope="session")
+def paper_scenario() -> Scenario:
+    """One realized paper-setup campaign (α_legit = α_sybil = 0.5)."""
+    return build_scenario(PaperScenarioConfig(), np.random.default_rng(7))
+
+
+@pytest.fixture(scope="session")
+def high_activity_scenario() -> Scenario:
+    """A campaign with very active attackers (α_sybil = 1.0)."""
+    return build_scenario(
+        PaperScenarioConfig(legit_activeness=0.5, sybil_activeness=1.0),
+        np.random.default_rng(11),
+    )

@@ -1,0 +1,120 @@
+"""Categorical truth discovery tests: 0/1 loss, majority votes, grouping."""
+
+import pytest
+
+from repro.core.categorical import (
+    CategoricalClaims,
+    CategoricalTruthDiscovery,
+    _majority,
+    _plurality,
+)
+from repro.core.types import Grouping
+from repro.errors import DataValidationError
+
+
+class TestCategoricalClaims:
+    def test_duplicate_claim_rejected(self):
+        with pytest.raises(DataValidationError, match="duplicate"):
+            CategoricalClaims([("a", "T1", "open"), ("a", "T1", "secured")])
+
+    def test_indexes(self):
+        claims = CategoricalClaims(
+            [("a", "T1", "open"), ("a", "T2", "secured"), ("b", "T1", "open")]
+        )
+        assert claims.tasks == ("T1", "T2")
+        assert claims.accounts == ("a", "b")
+        assert len(claims) == 3
+        assert claims.label("b", "T1") == "open"
+        assert claims.claims_for_task("T1") == {"a": "open", "b": "open"}
+        assert claims.task_set("a") == {"T1", "T2"}
+
+
+class TestVoteHelpers:
+    def test_plurality(self):
+        assert _plurality(["x", "y", "x"]) == "x"
+
+    def test_plurality_tie_is_deterministic(self):
+        assert _plurality(["a", "b"]) == _plurality(["b", "a"])
+
+    def test_weighted_majority(self):
+        votes = {"s1": "open", "s2": "secured", "s3": "secured"}
+        weights = {"s1": 10.0, "s2": 1.0, "s3": 1.0}
+        assert _majority(votes, weights) == "open"
+
+
+class TestDiscovery:
+    def test_unanimous(self):
+        claims = CategoricalClaims(
+            [(f"a{i}", "T1", "open") for i in range(4)]
+        )
+        result = CategoricalTruthDiscovery().discover(claims)
+        assert result.truths["T1"] == "open"
+        assert result.converged
+
+    def test_majority_wins(self):
+        claims = CategoricalClaims(
+            [
+                ("a", "T1", "open"),
+                ("b", "T1", "open"),
+                ("c", "T1", "open"),
+                ("d", "T1", "secured"),
+            ]
+        )
+        result = CategoricalTruthDiscovery().discover(claims)
+        assert result.truths["T1"] == "open"
+
+    def test_reliable_source_dominates_across_tasks(self):
+        # "good" agrees with the crowd on T1..T3; on T4 only "good" and
+        # "bad" answer, disagreeing.  good's track record must win T4.
+        triples = []
+        for task in ("T1", "T2", "T3"):
+            triples += [
+                ("good", task, "A"),
+                ("x", task, "A"),
+                ("y", task, "A"),
+                ("bad", task, "B"),
+            ]
+        triples += [("good", "T4", "A"), ("bad", "T4", "B")]
+        result = CategoricalTruthDiscovery().discover(CategoricalClaims(triples))
+        assert result.truths["T4"] == "A"
+        assert result.weights["good"] > result.weights["bad"]
+
+    def test_empty_claims_rejected(self):
+        with pytest.raises(DataValidationError, match="empty"):
+            CategoricalTruthDiscovery().discover(CategoricalClaims([]))
+
+    def test_integer_labels_supported(self):
+        claims = CategoricalClaims(
+            [("a", "T1", 1), ("b", "T1", 1), ("c", "T1", 2)]
+        )
+        assert CategoricalTruthDiscovery().discover(claims).truths["T1"] == 1
+
+
+class TestSybilResistance:
+    def _attacked_claims(self):
+        # 3 honest accounts say "open"; a 5-account Sybil says "secured".
+        triples = [(f"h{i}", "T1", "open") for i in range(3)]
+        triples += [(f"s{i}", "T1", "secured") for i in range(5)]
+        return CategoricalClaims(triples)
+
+    def test_ungrouped_attacker_wins(self):
+        result = CategoricalTruthDiscovery().discover(self._attacked_claims())
+        assert result.truths["T1"] == "secured"
+
+    def test_grouped_attacker_loses(self):
+        grouping = Grouping.from_groups(
+            [[f"s{i}" for i in range(5)]] + [[f"h{i}"] for i in range(3)]
+        )
+        result = CategoricalTruthDiscovery(grouping=grouping).discover(
+            self._attacked_claims()
+        )
+        assert result.truths["T1"] == "open"
+
+    def test_group_votes_named_by_group(self):
+        grouping = Grouping.from_groups([["s0", "s1"]])
+        claims = CategoricalClaims(
+            [("s0", "T1", "x"), ("s1", "T1", "x"), ("h", "T1", "y")]
+        )
+        result = CategoricalTruthDiscovery(grouping=grouping).discover(claims)
+        assert "g0" in result.weights
+        assert "h" in result.weights

@@ -1,0 +1,67 @@
+"""CRH behaviour tests, including the Table I vulnerability demonstration."""
+
+import pytest
+
+from repro.core.crh import CRH
+from repro.experiments.paperdata import (
+    SYBIL_ACCOUNTS,
+    TABLE1_PAPER_WITH,
+    TABLE1_PAPER_WITHOUT,
+    paper_example_dataset,
+)
+
+
+class TestCRHBasics:
+    def test_reliable_sources_dominate(self, simple_dataset):
+        result = CRH().discover(simple_dataset)
+        good = [result.weights[a] for a in ("good1", "good2", "good3")]
+        assert min(good) > result.weights["wild"]
+
+    def test_converges_quickly_on_clean_data(self, simple_dataset):
+        result = CRH().discover(simple_dataset)
+        assert result.converged
+        assert result.iterations < 50
+
+    def test_docstring_example(self):
+        from repro.core.dataset import SensingDataset
+
+        data = SensingDataset.from_matrix(
+            [[10.0, 20.0], [11.0, 21.0], [50.0, 20.5]]
+        )
+        result = CRH().discover(data)
+        assert 10.0 < result.truths["T1"] < 12.0
+
+
+class TestTable1Vulnerability:
+    """Section III-C: CRH collapses under the Sybil attack."""
+
+    @pytest.fixture(scope="class")
+    def with_attack(self):
+        return CRH().discover(paper_example_dataset()).truths
+
+    @pytest.fixture(scope="class")
+    def without_attack(self):
+        clean = paper_example_dataset().without_accounts(SYBIL_ACCOUNTS)
+        return CRH().discover(clean).truths
+
+    def test_clean_aggregates_match_paper(self, without_attack):
+        # Within a few dBm of the paper's printed row (implementation
+        # details of CRH differ slightly).
+        for tid, expected in TABLE1_PAPER_WITHOUT.items():
+            assert without_attack[tid] == pytest.approx(expected, abs=4.0)
+
+    @pytest.mark.parametrize("task", ["T1", "T3", "T4"])
+    def test_attacked_tasks_dragged_toward_fabrication(self, with_attack, task):
+        # The fabricated value is -50; attacked estimates land near it,
+        # as in the paper's "TD with the Sybil attack" row.
+        assert with_attack[task] > -60.0
+        assert with_attack[task] == pytest.approx(
+            TABLE1_PAPER_WITH[task], abs=5.0
+        )
+
+    def test_unattacked_task_remains_honest(self, with_attack, without_attack):
+        assert with_attack["T2"] == pytest.approx(without_attack["T2"], abs=5.0)
+
+    @pytest.mark.parametrize("task", ["T1", "T3", "T4"])
+    def test_attack_shift_is_large(self, with_attack, without_attack, task):
+        assert abs(with_attack[task] - without_attack[task]) > 15.0

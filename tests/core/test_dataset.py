@@ -1,0 +1,192 @@
+"""Unit tests for SensingDataset: validation, indexes, derived views."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import SensingDataset
+from repro.core.types import Observation, Task
+from repro.errors import DataValidationError
+
+
+def _dataset():
+    tasks = [Task("T1"), Task("T2"), Task("T3")]
+    observations = [
+        Observation("a", "T1", 1.0, 10.0),
+        Observation("a", "T2", 2.0, 20.0),
+        Observation("b", "T2", 2.5, 5.0),
+        Observation("b", "T3", 3.0, 15.0),
+    ]
+    return SensingDataset(tasks, observations)
+
+
+class TestValidation:
+    def test_duplicate_observation_rejected(self):
+        tasks = [Task("T1")]
+        obs = [
+            Observation("a", "T1", 1.0, 0.0),
+            Observation("a", "T1", 2.0, 1.0),
+        ]
+        with pytest.raises(DataValidationError, match="duplicate observation"):
+            SensingDataset(tasks, obs)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(DataValidationError, match="unknown task"):
+            SensingDataset([Task("T1")], [Observation("a", "T9", 1.0, 0.0)])
+
+    def test_duplicate_task_ids_rejected(self):
+        with pytest.raises(DataValidationError, match="duplicate task ids"):
+            SensingDataset([Task("T1"), Task("T1")], [])
+
+    def test_non_finite_value_rejected(self):
+        with pytest.raises(DataValidationError, match="not finite"):
+            SensingDataset(
+                [Task("T1")], [Observation("a", "T1", float("inf"), 0.0)]
+            )
+
+    def test_empty_dataset_allowed(self):
+        ds = SensingDataset([Task("T1")], [])
+        assert len(ds) == 0
+        assert ds.accounts == ()
+
+
+class TestIndexes:
+    def test_len_counts_observations(self):
+        assert len(_dataset()) == 4
+
+    def test_contains_pair(self):
+        ds = _dataset()
+        assert ("a", "T1") in ds
+        assert ("a", "T3") not in ds
+
+    def test_accounts_sorted(self):
+        assert _dataset().accounts == ("a", "b")
+
+    def test_tasks_include_unanswered(self):
+        ds = SensingDataset(
+            [Task("T1"), Task("T2")], [Observation("a", "T1", 1.0, 0.0)]
+        )
+        assert ds.tasks == ("T1", "T2")
+
+    def test_accounts_for_task_is_U_j(self):
+        ds = _dataset()
+        assert set(ds.accounts_for_task("T2")) == {"a", "b"}
+        assert ds.accounts_for_task("T3") == ("b",)
+        assert ds.accounts_for_task("T1") == ("a",)
+
+    def test_accounts_for_task_ordered_by_timestamp(self):
+        # b submitted T2 at t=5, a at t=20.
+        assert _dataset().accounts_for_task("T2") == ("b", "a")
+
+    def test_task_set_is_T_i(self):
+        ds = _dataset()
+        assert ds.task_set("a") == {"T1", "T2"}
+        assert ds.task_set("b") == {"T2", "T3"}
+
+    def test_task_set_of_unknown_account_is_empty(self):
+        assert _dataset().task_set("nobody") == frozenset()
+
+    def test_value_and_timestamp_lookup(self):
+        ds = _dataset()
+        assert ds.value("b", "T3") == 3.0
+        assert ds.timestamp("b", "T3") == 15.0
+
+    def test_value_missing_raises(self):
+        with pytest.raises(KeyError):
+            _dataset().value("a", "T3")
+
+    def test_observations_for_account_time_ordered(self):
+        ds = _dataset()
+        times = [obs.timestamp for obs in ds.observations_for_account("b")]
+        assert times == sorted(times)
+
+
+class TestActiveness:
+    def test_activeness_fraction(self):
+        ds = _dataset()
+        assert ds.activeness("a") == pytest.approx(2 / 3)
+
+    def test_activeness_zero_for_unknown(self):
+        assert _dataset().activeness("nobody") == 0.0
+
+    def test_activeness_requires_tasks(self):
+        ds = SensingDataset([], [])
+        with pytest.raises(DataValidationError, match="no tasks"):
+            ds.activeness("a")
+
+
+class TestMatrix:
+    def test_matrix_roundtrip(self):
+        values = [[1.0, np.nan], [np.nan, 4.0]]
+        ds = SensingDataset.from_matrix(values)
+        matrix, accounts, tasks = ds.to_matrix()
+        assert accounts == ("a0", "a1")
+        assert tasks == ("T1", "T2")
+        assert matrix[0, 0] == 1.0
+        assert math.isnan(matrix[0, 1])
+        assert matrix[1, 1] == 4.0
+
+    def test_from_matrix_default_timestamps_are_column_index(self):
+        ds = SensingDataset.from_matrix([[1.0, 2.0]])
+        assert ds.timestamp("a0", "T1") == 0.0
+        assert ds.timestamp("a0", "T2") == 1.0
+
+    def test_from_matrix_explicit_timestamps(self):
+        ds = SensingDataset.from_matrix(
+            [[1.0, 2.0]], timestamps=[[100.0, 50.0]]
+        )
+        assert ds.timestamp("a0", "T2") == 50.0
+
+    def test_from_matrix_shape_validation(self):
+        with pytest.raises(DataValidationError, match="2-D"):
+            SensingDataset.from_matrix([1.0, 2.0])
+
+    def test_from_matrix_id_length_validation(self):
+        with pytest.raises(DataValidationError, match="match matrix"):
+            SensingDataset.from_matrix([[1.0]], account_ids=["a", "b"])
+
+    def test_from_matrix_timestamp_shape_validation(self):
+        with pytest.raises(DataValidationError, match="same shape"):
+            SensingDataset.from_matrix([[1.0]], timestamps=[[1.0, 2.0]])
+
+
+class TestTrajectory:
+    def test_trajectory_orders_by_time(self):
+        ds = SensingDataset.from_matrix(
+            [[1.0, 2.0, 3.0]],
+            timestamps=[[30.0, 10.0, 20.0]],
+        )
+        xs, ys = ds.trajectory("a0")
+        # Task indexes in time order: T2 (10s), T3 (20s), T1 (30s).
+        assert list(xs) == [1.0, 2.0, 0.0]
+        assert list(ys) == [10.0, 20.0, 30.0]
+
+    def test_trajectory_of_absent_account_is_empty(self):
+        xs, ys = _dataset().trajectory("nobody")
+        assert len(xs) == 0 and len(ys) == 0
+
+
+class TestDerivedDatasets:
+    def test_without_accounts_removes_reports(self):
+        ds = _dataset().without_accounts(["a"])
+        assert ds.accounts == ("b",)
+        assert len(ds) == 2
+        # Task universe is preserved even if now unanswered.
+        assert "T1" in ds.tasks
+
+    def test_without_accounts_noop_for_unknown(self):
+        assert len(_dataset().without_accounts(["zzz"])) == 4
+
+    def test_merged_with_disjoint_datasets(self):
+        left = SensingDataset.from_matrix([[1.0]], account_ids=["a"])
+        right = SensingDataset.from_matrix([[2.0]], account_ids=["b"])
+        merged = left.merged_with(right)
+        assert merged.accounts == ("a", "b")
+        assert len(merged) == 2
+
+    def test_merged_with_overlap_rejected(self):
+        left = SensingDataset.from_matrix([[1.0]], account_ids=["a"])
+        right = SensingDataset.from_matrix([[2.0]], account_ids=["a"])
+        with pytest.raises(DataValidationError, match="duplicate"):
+            left.merged_with(right)

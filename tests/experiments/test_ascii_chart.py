@@ -1,0 +1,77 @@
+"""ASCII line-chart tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ascii_chart import MARKERS, line_chart
+
+
+class TestValidation:
+    def test_needs_a_series(self):
+        with pytest.raises(ValueError, match="at least one"):
+            line_chart({})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            line_chart({"a": [1.0, 2.0], "b": [1.0]})
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            line_chart({"a": []})
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [0.0, 1.0] for i in range(len(MARKERS) + 1)}
+        with pytest.raises(ValueError, match="at most"):
+            line_chart(series)
+
+    def test_grid_too_small_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            line_chart({"a": [1.0] * 100}, width=10)
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            line_chart({"a": [float("nan")] * 3})
+
+
+class TestRendering:
+    def test_markers_and_legend_present(self):
+        chart = line_chart({"up": [0.0, 1.0], "down": [1.0, 0.0]})
+        assert "o=up" in chart
+        assert "x=down" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_extremes_on_first_and_last_rows(self):
+        chart = line_chart({"a": [0.0, 10.0]}, height=5)
+        lines = [line for line in chart.splitlines() if "|" in line]
+        assert "o" in lines[0]   # the max lands on the top row
+        assert "o" in lines[-1]  # the min on the bottom row
+
+    def test_y_range_gutter(self):
+        chart = line_chart({"a": [2.0, 8.0]})
+        assert "8" in chart and "2" in chart
+
+    def test_x_labels_at_endpoints(self):
+        chart = line_chart({"a": [1.0, 2.0, 3.0]}, x_labels=["lo", "mid", "hi"])
+        last_lines = chart.splitlines()[-2:]
+        assert any("lo" in line and "hi" in line for line in last_lines)
+
+    def test_title_first_line(self):
+        chart = line_chart({"a": [1.0, 2.0]}, title="My Chart")
+        assert chart.splitlines()[0] == "My Chart"
+
+    def test_flat_series_renders(self):
+        chart = line_chart({"a": [5.0, 5.0, 5.0]})
+        assert "o" in chart
+
+    def test_nan_points_skipped(self):
+        chart = line_chart({"a": [1.0, float("nan"), 3.0]})
+        grid = "".join(line for line in chart.splitlines() if "|" in line)
+        assert grid.count("o") == 2
+
+    def test_connecting_dots_between_markers(self):
+        chart = line_chart({"a": list(np.linspace(0, 10, 4))}, width=40)
+        assert "." in chart
+
+    def test_single_point_series(self):
+        chart = line_chart({"a": [7.0]}, width=10)
+        assert "o" in chart

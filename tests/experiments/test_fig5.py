@@ -1,0 +1,57 @@
+"""Fig. 5 harness tests: the POI map of the experimental setup."""
+
+import pytest
+
+from repro.experiments.fig5 import (
+    MAP_COLUMNS,
+    MAP_ROWS,
+    _poi_marker,
+    render_world_map,
+    run_fig5,
+)
+
+
+class TestPOIMarkers:
+    def test_first_nine_are_digits(self):
+        assert [_poi_marker(i) for i in range(9)] == list("123456789")
+
+    def test_tenth_is_zero(self):
+        assert _poi_marker(9) == "0"
+
+    def test_beyond_ten_are_letters(self):
+        assert _poi_marker(10) == "A"
+        assert _poi_marker(12) == "C"
+
+
+class TestMap:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5()
+
+    def test_grid_dimensions(self, result):
+        assert len(result.grid) == MAP_ROWS
+        assert all(len(row) == MAP_COLUMNS for row in result.grid)
+
+    def test_all_pois_marked(self, result):
+        text = "".join(result.grid)
+        for marker in "1234567890":
+            assert marker in text
+
+    def test_route_covers_all_pois(self, result):
+        assert sorted(result.sample_route) == sorted(result.world.task_ids)
+
+    def test_render_includes_truth_table_and_map(self, result):
+        text = result.render()
+        assert "ground-truth RSS" in text
+        assert "nearest-neighbour route" in text
+
+    def test_marker_positions_match_coordinates(self, result):
+        area = 500.0
+        for index, task in enumerate(result.world.tasks):
+            x, y = task.location
+            col = min(int(x / area * MAP_COLUMNS), MAP_COLUMNS - 1)
+            row = MAP_ROWS - 1 - min(int(y / area * MAP_ROWS), MAP_ROWS - 1)
+            assert result.grid[row][col] == _poi_marker(index)
+
+    def test_deterministic(self):
+        assert run_fig5(seed=3).grid == run_fig5(seed=3).grid

@@ -1,0 +1,154 @@
+"""Experiment-harness tests: every table/figure reproduces its paper shape.
+
+These are the executable versions of the EXPERIMENTS.md claims — each test
+pins the qualitative property the paper reports for that table/figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.sweeps import run_cell
+from repro.experiments.table1 import run_table1
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1()
+
+    def test_attacked_tasks_shift_heavily(self, result):
+        for task in ("T1", "T3", "T4"):
+            assert result.attack_shift[task] > 15.0
+
+    def test_unattacked_task_stable(self, result):
+        assert result.attack_shift["T2"] < 6.0
+
+    def test_attacked_estimates_near_fabrication(self, result):
+        for task in ("T1", "T3", "T4"):
+            assert -60.0 < result.with_attack[task] < -50.0
+
+    def test_render_contains_all_rows(self, result):
+        text = result.render()
+        assert "4'''" in text
+        assert "TD with attack (ours)" in text
+        assert "paper" in text
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2()
+
+    def test_three_distinct_models_cluster_well(self, result):
+        assert result.ari > 0.5
+
+    def test_fifteen_captures(self, result):
+        assert len(result.device_ids) == 15
+        assert result.projections.shape == (15, 2)
+
+    def test_pc_space_explains_most_variance(self, result):
+        assert sum(result.explained_variance_ratio) > 0.3
+
+    def test_render(self, result):
+        assert "k-means" in result.render()
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3()
+
+    def test_attacker_accounts_grouped(self, result):
+        groups = {frozenset(g) for g in result.grouping.groups}
+        assert frozenset({"4'", "4''", "4'''"}) in groups
+
+    def test_affinity_matrix_spot_values(self, result):
+        accounts = list(result.accounts)
+        i, j = accounts.index("4'"), accounts.index("4''")
+        assert result.affinity[i, j] == pytest.approx(2.25)
+        i, j = accounts.index("1"), accounts.index("2")
+        assert result.affinity[i, j] == pytest.approx(-2.0)
+
+    def test_together_alone_matrices(self, result):
+        accounts = list(result.accounts)
+        i, j = accounts.index("1"), accounts.index("4'")
+        assert result.together[i, j] == 3
+        assert result.alone[i, j] == 1
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Eq. 6" in text
+        assert "{4', 4'', 4'''}" in text
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4()
+
+    def test_grouping_matches_paper_exactly(self, result):
+        groups = {frozenset(g) for g in result.grouping.groups}
+        assert groups == {
+            frozenset({"4'", "4''", "4'''"}),
+            frozenset({"1"}),
+            frozenset({"2"}),
+            frozenset({"3"}),
+        }
+
+    def test_fig4a_matrix_matches_paper(self, result):
+        # The paper's printed DTW(X) matrix row for account 1: 0 2 1 1 1 1.
+        accounts = list(result.accounts)
+        row = result.dtw_tasks[accounts.index("1")]
+        assert list(np.round(row, 6)) == [0.0, 2.0, 1.0, 1.0, 1.0, 1.0]
+
+    def test_sybil_timestamp_distances_tiny(self, result):
+        accounts = list(result.accounts)
+        i, j = accounts.index("4'"), accounts.index("4''")
+        assert result.dtw_timestamps[i, j] < 0.01
+
+    def test_dissimilarity_is_sum(self, result):
+        assert np.allclose(
+            result.dissimilarity, result.dtw_tasks + result.dtw_timestamps
+        )
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig8()
+
+    def test_eleven_devices(self, result):
+        assert len(result.centers) == 11
+
+    def test_same_model_centres_much_closer(self, result):
+        assert result.cross_model_distance > 4 * result.same_model_distance
+
+    def test_render_includes_table4(self, result):
+        text = result.render()
+        assert "Table IV" in text
+        assert "Nexus 6P" in text
+
+
+class TestSweepCell:
+    @pytest.fixture(scope="class")
+    def cell(self):
+        return run_cell(0.5, 0.8, n_trials=2, base_seed=77)
+
+    def test_all_methods_present(self, cell):
+        assert set(cell.ari) == {"AG-FP", "AG-TS", "AG-TR"}
+        assert set(cell.mae) == set(cell.ari)
+
+    def test_framework_beats_crh_with_best_grouping(self, cell):
+        best_mae = min(mean for mean, _ in cell.mae.values())
+        assert best_mae < cell.crh_mae[0]
+
+    def test_ag_tr_groups_well_at_high_activeness(self, cell):
+        assert cell.ari["AG-TR"][0] > 0.8
+
+    def test_stats_are_mean_std_pairs(self, cell):
+        for mean, std in cell.mae.values():
+            assert mean >= 0 and std >= 0

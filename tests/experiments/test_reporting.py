@@ -1,0 +1,65 @@
+"""Reporting-helper tests: tables, matrices, group descriptions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import (
+    banner,
+    describe_groups,
+    format_cell,
+    render_matrix,
+    render_table,
+)
+
+
+class TestFormatCell:
+    def test_none_is_x(self):
+        assert format_cell(None) == "x"
+
+    def test_nan_is_x(self):
+        assert format_cell(float("nan")) == "x"
+
+    def test_float_precision(self):
+        assert format_cell(3.14159, precision=3) == "3.142"
+
+    def test_int_and_str_passthrough(self):
+        assert format_cell(7) == "7"
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_header_and_rows_aligned(self):
+        text = render_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title_prepended(self):
+        text = render_table(["h"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cells"):
+            render_table(["a", "b"], [[1]])
+
+
+class TestRenderMatrix:
+    def test_labelled_square(self):
+        text = render_matrix(["x", "y"], np.array([[0.0, 1.5], [1.5, 0.0]]))
+        assert "x" in text and "1.50" in text
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="match"):
+            render_matrix(["x"], np.zeros((2, 2)))
+
+
+class TestBannerAndGroups:
+    def test_banner_width(self):
+        assert len(banner("hi", width=40)) >= 40
+
+    def test_describe_groups_largest_first(self):
+        text = describe_groups([{"b"}, {"a", "c", "d"}])
+        assert text.index("a, c, d") < text.index("{b}")
+
+    def test_describe_groups_sorted_members(self):
+        assert describe_groups([{"z", "a"}]) == "{a, z}"

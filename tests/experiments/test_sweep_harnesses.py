@@ -1,0 +1,63 @@
+"""Smoke tests for the fig6/fig7 sweep harnesses (tiny grids)."""
+
+import pytest
+
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.sweeps import default_groupers, run_panel
+
+
+class TestDefaultGroupers:
+    def test_three_paper_methods(self):
+        assert set(default_groupers()) == {"AG-FP", "AG-TS", "AG-TR"}
+
+    def test_combined_optional(self):
+        assert "AG-COMB" in default_groupers(include_combined=True)
+
+
+class TestRunPanel:
+    @pytest.fixture(scope="class")
+    def panel(self):
+        return run_panel(0.5, sybil_levels=(0.4, 0.8), n_trials=1)
+
+    def test_one_cell_per_level(self, panel):
+        assert [cell.sybil_activeness for cell in panel] == [0.4, 0.8]
+
+    def test_cells_record_both_metrics(self, panel):
+        for cell in panel:
+            assert set(cell.ari) == set(cell.mae)
+            assert cell.crh_mae[0] >= 0
+
+    def test_cells_reproducible_in_isolation(self, panel):
+        from repro.experiments.sweeps import run_cell
+
+        lone = run_cell(0.5, 0.4, n_trials=1, base_seed=1000 + 400)
+        assert lone.crh_mae == panel[0].crh_mae
+
+
+class TestFigureHarnesses:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return run_fig6(legit_levels=(0.5,), sybil_levels=(0.5,), n_trials=1)
+
+    @pytest.fixture(scope="class")
+    def fig7(self):
+        return run_fig7(legit_levels=(0.5,), sybil_levels=(0.5,), n_trials=1)
+
+    def test_fig6_render_contains_methods(self, fig6):
+        text = fig6.render()
+        for method in ("AG-FP", "AG-TS", "AG-TR"):
+            assert method in text
+
+    def test_fig6_panel_structure(self, fig6):
+        assert list(fig6.panels) == [0.5]
+        assert len(fig6.panels[0.5]) == 1
+
+    def test_fig7_render_contains_td_names(self, fig7):
+        text = fig7.render()
+        for method in ("CRH", "TD-FP", "TD-TS", "TD-TR"):
+            assert method in text
+
+    def test_fig7_reports_mae_not_ari(self, fig7):
+        cell = fig7.panels[0.5][0]
+        assert cell.crh_mae[0] > 0

@@ -1,0 +1,91 @@
+"""Feature-pipeline tests: 80-dim vectors, normalization, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FingerprintError
+from repro.features.extractor import (
+    FEATURE_NAMES,
+    STREAM_NAMES,
+    FeatureExtractor,
+    capture_features,
+    feature_matrix,
+    stream_features,
+)
+
+
+def _capture(rng, scale=1.0):
+    return {
+        name: rng.normal(scale=scale, size=300) for name in STREAM_NAMES
+    }
+
+
+class TestStreamFeatures:
+    def test_twenty_features_per_stream(self, rng):
+        assert stream_features(rng.normal(size=100)).shape == (20,)
+
+    def test_feature_names_eighty_and_qualified(self):
+        assert len(FEATURE_NAMES) == 80
+        assert FEATURE_NAMES[0] == "accel_magnitude.mean"
+        assert all("." in name for name in FEATURE_NAMES)
+
+
+class TestCaptureFeatures:
+    def test_eighty_dimensions(self, rng):
+        assert capture_features(_capture(rng)).shape == (80,)
+
+    def test_missing_stream_rejected(self, rng):
+        streams = _capture(rng)
+        del streams["gyro_y"]
+        with pytest.raises(FingerprintError, match="gyro_y"):
+            capture_features(streams)
+
+    def test_short_stream_rejected(self, rng):
+        streams = _capture(rng)
+        streams["gyro_x"] = np.array([1.0])
+        with pytest.raises(FingerprintError, match="at least 2"):
+            capture_features(streams)
+
+    def test_extra_streams_ignored(self, rng):
+        streams = _capture(rng)
+        streams["magnetometer"] = np.ones(300)
+        assert capture_features(streams).shape == (80,)
+
+
+class TestFeatureMatrix:
+    def test_stacks_captures(self, rng):
+        captures = [_capture(rng) for _ in range(4)]
+        assert feature_matrix(captures).shape == (4, 80)
+
+    def test_empty_rejected(self):
+        with pytest.raises(FingerprintError, match="at least one"):
+            feature_matrix([])
+
+
+class TestFeatureExtractor:
+    def test_fit_transform_zero_mean_unit_spread(self, rng):
+        captures = [_capture(rng) for _ in range(10)]
+        normalized = FeatureExtractor().fit_transform(captures)
+        assert np.allclose(normalized.mean(axis=0), 0.0, atol=1e-9)
+        spreads = normalized.std(axis=0)
+        # Non-constant dimensions are unit-spread; constant ones are 0.
+        assert ((np.isclose(spreads, 1.0)) | (np.isclose(spreads, 0.0))).all()
+
+    def test_constant_dimension_maps_to_zero(self, rng):
+        captures = [_capture(rng) for _ in range(5)]
+        for capture in captures:
+            capture["gyro_z"] = np.ones(300)  # identical across captures
+        normalized = FeatureExtractor().fit_transform(captures)
+        gyro_z_mean = FEATURE_NAMES.index("gyro_z.mean")
+        assert np.allclose(normalized[:, gyro_z_mean], 0.0)
+
+    def test_transform_before_fit_raises(self, rng):
+        with pytest.raises(RuntimeError, match="fitted"):
+            FeatureExtractor().transform([_capture(rng)])
+
+    def test_transform_new_capture_into_fitted_space(self, rng):
+        population = [_capture(rng) for _ in range(8)]
+        extractor = FeatureExtractor().fit(population)
+        projected = extractor.transform([_capture(rng)])
+        assert projected.shape == (1, 80)
+        assert np.isfinite(projected).all()

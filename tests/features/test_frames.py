@@ -1,0 +1,119 @@
+"""Framed feature-extraction tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FingerprintError
+from repro.features.frames import (
+    FRAMED_FEATURE_NAMES,
+    FramedFeatureExtractor,
+    frame_signal,
+    framed_capture_features,
+    framed_stream_features,
+)
+from repro.features.extractor import STREAM_NAMES
+
+
+def _capture(rng, n=300):
+    return {name: rng.normal(size=n) for name in STREAM_NAMES}
+
+
+class TestFrameSignal:
+    def test_default_fifty_percent_overlap(self):
+        frames = frame_signal(np.arange(10.0), frame_length=4)
+        # hop = 2 -> starts 0, 2, 4, 6.
+        assert frames.shape == (4, 4)
+        assert list(frames[1]) == [2.0, 3.0, 4.0, 5.0]
+
+    def test_explicit_hop(self):
+        frames = frame_signal(np.arange(10.0), frame_length=4, hop=4)
+        assert frames.shape == (2, 4)
+
+    def test_trailing_partial_frame_dropped(self):
+        frames = frame_signal(np.arange(9.0), frame_length=4, hop=4)
+        assert frames.shape == (2, 4)
+
+    def test_signal_shorter_than_frame_rejected(self):
+        with pytest.raises(ValueError, match="shorter"):
+            frame_signal(np.arange(3.0), frame_length=4)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError, match="frame_length"):
+            frame_signal(np.arange(10.0), frame_length=1)
+        with pytest.raises(ValueError, match="hop"):
+            frame_signal(np.arange(10.0), frame_length=4, hop=0)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            frame_signal(np.ones((3, 3)), frame_length=2)
+
+
+class TestFramedStreamFeatures:
+    def test_forty_dimensions(self, rng):
+        vector = framed_stream_features(rng.normal(size=300))
+        assert vector.shape == (40,)
+        assert np.isfinite(vector).all()
+
+    def test_stationary_signal_small_frame_std(self, rng):
+        # A stationary signal's per-frame means barely move, so the
+        # ".std" aggregate of the "mean" feature is small relative to a
+        # signal whose level jumps mid-stream.
+        steady = rng.normal(0.0, 1.0, size=300)
+        jumpy = np.concatenate(
+            [rng.normal(0.0, 1.0, 150), rng.normal(10.0, 1.0, 150)]
+        )
+        name_index = FRAMED_FEATURE_NAMES.index("accel_magnitude.mean.std") % 40
+        steady_vec = framed_stream_features(steady)
+        jumpy_vec = framed_stream_features(jumpy)
+        assert steady_vec[name_index] < jumpy_vec[name_index]
+
+    def test_feature_names_160(self):
+        assert len(FRAMED_FEATURE_NAMES) == 160
+        assert FRAMED_FEATURE_NAMES[0] == "accel_magnitude.mean.mean"
+        assert FRAMED_FEATURE_NAMES[1] == "accel_magnitude.mean.std"
+
+
+class TestFramedCapture:
+    def test_160_dims(self, rng):
+        vector = framed_capture_features(_capture(rng))
+        assert vector.shape == (160,)
+
+    def test_missing_stream_rejected(self, rng):
+        streams = _capture(rng)
+        del streams["gyro_y"]
+        with pytest.raises(FingerprintError, match="gyro_y"):
+            framed_capture_features(streams)
+
+
+class TestFramedExtractor:
+    def test_fit_transform_normalized(self, rng):
+        captures = [_capture(rng) for _ in range(6)]
+        matrix = FramedFeatureExtractor().fit_transform(captures)
+        assert matrix.shape == (6, 160)
+        assert np.allclose(matrix.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_transform_requires_fit(self, rng):
+        with pytest.raises(RuntimeError, match="fitted"):
+            FramedFeatureExtractor().transform([_capture(rng)])
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(FingerprintError, match="at least one"):
+            FramedFeatureExtractor().fit([])
+
+    def test_separates_devices_like_plain_extractor(self, rng):
+        from repro.sensors.device import PHONE_MODEL_CATALOG, MEMSDevice
+        from repro.sensors.fingerprint import capture_fingerprint
+
+        captures, owners = [], []
+        for index, model in enumerate(("iPhone 7", "Nexus 5")):
+            device = MEMSDevice.manufacture(
+                f"d{index}", PHONE_MODEL_CATALOG[model], rng
+            )
+            for _ in range(4):
+                capture = capture_fingerprint("x", device, rng)
+                captures.append(capture.streams)
+                owners.append(index)
+        matrix = FramedFeatureExtractor().fit_transform(captures)
+        same = np.linalg.norm(matrix[0] - matrix[1])
+        cross = np.linalg.norm(matrix[0] - matrix[4])
+        assert cross > same

@@ -1,0 +1,147 @@
+"""Spectral-feature tests (Table II rows 10-20) on signals with known spectra."""
+
+import numpy as np
+import pytest
+
+from repro.features import spectral
+
+
+def _tone(freq: float, n: int = 256) -> np.ndarray:
+    """A pure sinusoid at normalized frequency ``freq`` cycles/sample."""
+    t = np.arange(n)
+    return np.sin(2 * np.pi * freq * t)
+
+
+class TestMagnitudeSpectrum:
+    def test_dc_bin_dropped(self):
+        freqs, mags = spectral.magnitude_spectrum([5.0] * 64)
+        # Constant signal: all remaining bins ~0 and no DC entry.
+        assert freqs[0] > 0
+        assert np.allclose(mags, 0.0, atol=1e-9)
+
+    def test_tone_peak_at_its_frequency(self):
+        freqs, mags = spectral.magnitude_spectrum(_tone(0.25))
+        assert freqs[np.argmax(mags)] == pytest.approx(0.25, abs=0.01)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError, match="2 samples"):
+            spectral.magnitude_spectrum([1.0])
+
+
+class TestMoments:
+    def test_centroid_of_tone(self):
+        freqs, mags = spectral.magnitude_spectrum(_tone(0.125))
+        assert spectral.spectral_centroid(freqs, mags) == pytest.approx(
+            0.125, abs=0.01
+        )
+
+    def test_spread_of_tone_small(self):
+        freqs, mags = spectral.magnitude_spectrum(_tone(0.125))
+        assert spectral.spectral_spread(freqs, mags) < 0.02
+
+    def test_spread_of_noise_large(self, rng):
+        freqs, mags = spectral.magnitude_spectrum(rng.normal(size=512))
+        assert spectral.spectral_spread(freqs, mags) > 0.08
+
+    def test_skewness_two_tone_asymmetry(self):
+        low_heavy = _tone(0.05) * 3 + _tone(0.4)
+        freqs, mags = spectral.magnitude_spectrum(low_heavy)
+        assert spectral.spectral_skewness(freqs, mags) > 0
+
+    def test_kurtosis_of_tone_degenerate_zero(self):
+        freqs = np.array([0.1, 0.2])
+        mags = np.array([1.0, 0.0])
+        # Zero spread -> defined as 0.
+        assert spectral.spectral_kurtosis(freqs, mags) == 0.0
+
+    def test_empty_spectrum_moments_zero(self):
+        freqs = np.array([0.1, 0.2])
+        mags = np.zeros(2)
+        assert spectral.spectral_centroid(freqs, mags) == 0.0
+        assert spectral.spectral_spread(freqs, mags) == 0.0
+
+
+class TestShapeDescriptors:
+    def test_flatness_noise_near_one_tone_near_zero(self, rng):
+        noise_f, noise_m = spectral.magnitude_spectrum(rng.normal(size=1024))
+        # A bin-aligned tone (0.25 = 256/1024) has no spectral leakage,
+        # so its energy sits in a single line.
+        tone_f, tone_m = spectral.magnitude_spectrum(_tone(0.25, 1024))
+        assert spectral.spectral_flatness(noise_f, noise_m) > 0.5
+        assert spectral.spectral_flatness(tone_f, tone_m) < 0.1
+
+    def test_irregularity_smooth_vs_spiky(self):
+        freqs = np.linspace(0.01, 0.5, 50)
+        smooth = np.ones(50)
+        spiky = np.ones(50)
+        spiky[::2] = 10.0
+        assert spectral.spectral_irregularity(freqs, smooth) < \
+            spectral.spectral_irregularity(freqs, spiky)
+
+    def test_entropy_bounds(self, rng):
+        freqs, mags = spectral.magnitude_spectrum(rng.normal(size=256))
+        assert 0.0 <= spectral.spectral_entropy(freqs, mags) <= 1.0
+
+    def test_entropy_tone_lower_than_noise(self, rng):
+        tone_f, tone_m = spectral.magnitude_spectrum(_tone(0.2, 512))
+        noise_f, noise_m = spectral.magnitude_spectrum(rng.normal(size=512))
+        assert spectral.spectral_entropy(tone_f, tone_m) < \
+            spectral.spectral_entropy(noise_f, noise_m)
+
+    def test_rolloff_tone_at_tone_frequency(self):
+        # Bin-aligned tone: 85% of the magnitude is concentrated at the
+        # tone's own line.
+        freqs, mags = spectral.magnitude_spectrum(_tone(0.25, 512))
+        assert spectral.spectral_rolloff(freqs, mags) == pytest.approx(
+            0.25, abs=0.02
+        )
+
+    def test_brightness_high_tone_vs_low_tone(self):
+        low_f, low_m = spectral.magnitude_spectrum(_tone(0.01, 512))
+        high_f, high_m = spectral.magnitude_spectrum(_tone(0.4, 512))
+        assert spectral.spectral_brightness(high_f, high_m) > \
+            spectral.spectral_brightness(low_f, low_m)
+
+    def test_spectral_rms_scales_with_amplitude(self):
+        freqs, mags1 = spectral.magnitude_spectrum(_tone(0.2))
+        _, mags2 = spectral.magnitude_spectrum(2 * _tone(0.2))
+        assert spectral.spectral_rms(freqs, mags2) == pytest.approx(
+            2 * spectral.spectral_rms(freqs, mags1), rel=1e-6
+        )
+
+
+class TestRoughness:
+    def test_two_close_tones_rougher_than_one(self):
+        one = _tone(0.2, 512)
+        two = _tone(0.2, 512) + _tone(0.22, 512)
+        f1, m1 = spectral.magnitude_spectrum(one)
+        f2, m2 = spectral.magnitude_spectrum(two)
+        assert spectral.spectral_roughness(f2, m2) > \
+            spectral.spectral_roughness(f1, m1)
+
+    def test_single_peak_zero_roughness(self):
+        freqs = np.array([0.1, 0.2, 0.3])
+        mags = np.array([0.0, 1.0, 0.0])
+        assert spectral.spectral_roughness(freqs, mags) == 0.0
+
+
+class TestVector:
+    def test_vector_has_eleven_features(self):
+        vector = spectral.spectral_feature_vector(_tone(0.1))
+        assert vector.shape == (11,)
+
+    def test_vector_all_finite(self, rng):
+        vector = spectral.spectral_feature_vector(rng.normal(size=300))
+        assert np.isfinite(vector).all()
+
+    def test_vector_finite_on_constant_signal(self):
+        vector = spectral.spectral_feature_vector([1.0] * 64)
+        assert np.isfinite(vector).all()
+
+    def test_registry_has_paper_names(self):
+        assert list(spectral.SPECTRAL_FEATURES) == [
+            "spectral_centroid", "spectral_spread", "spectral_skewness",
+            "spectral_kurtosis", "spectral_flatness", "spectral_irregularity",
+            "spectral_entropy", "spectral_rolloff", "spectral_brightness",
+            "spectral_rms", "spectral_roughness",
+        ]

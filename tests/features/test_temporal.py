@@ -1,0 +1,93 @@
+"""Temporal-feature tests (Table II rows 1-9) on signals with known stats."""
+
+import numpy as np
+import pytest
+
+from repro.features import temporal
+
+
+class TestMoments:
+    def test_mean(self):
+        assert temporal.mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_std_population(self):
+        assert temporal.standard_deviation([1.0, 3.0]) == pytest.approx(1.0)
+
+    def test_skewness_symmetric_signal_zero(self):
+        assert temporal.skewness([-2.0, -1.0, 0.0, 1.0, 2.0]) == pytest.approx(0.0)
+
+    def test_skewness_right_tail_positive(self):
+        assert temporal.skewness([0.0, 0.0, 0.0, 10.0]) > 0
+
+    def test_skewness_constant_signal_zero(self):
+        assert temporal.skewness([5.0, 5.0, 5.0]) == 0.0
+
+    def test_kurtosis_gaussian_near_three(self, rng):
+        signal = rng.normal(size=200_00)
+        assert temporal.kurtosis(signal) == pytest.approx(3.0, abs=0.2)
+
+    def test_kurtosis_constant_signal_zero(self):
+        assert temporal.kurtosis([1.0, 1.0]) == 0.0
+
+
+class TestAmplitude:
+    def test_rms_known(self):
+        assert temporal.root_mean_square([3.0, 4.0, 0.0, 0.0]) == pytest.approx(2.5)
+
+    def test_rms_at_least_abs_mean(self, rng):
+        signal = rng.normal(size=100)
+        assert temporal.root_mean_square(signal) >= abs(temporal.mean(signal))
+
+    def test_max_min(self):
+        signal = [3.0, -7.0, 2.0]
+        assert temporal.maximum(signal) == 3.0
+        assert temporal.minimum(signal) == -7.0
+
+
+class TestCounts:
+    def test_zcr_alternating_signal(self):
+        assert temporal.zero_crossing_rate([1.0, -1.0, 1.0, -1.0]) == 1.0
+
+    def test_zcr_constant_sign_zero(self):
+        assert temporal.zero_crossing_rate([1.0, 2.0, 3.0]) == 0.0
+
+    def test_zcr_zero_samples_do_not_count_as_crossing(self):
+        # + 0 + : the sign never flips.
+        assert temporal.zero_crossing_rate([1.0, 0.0, 1.0]) == 0.0
+
+    def test_zcr_crossing_through_zero_counts_once(self):
+        # + 0 - : exactly one crossing.
+        signal = [1.0, 0.0, -1.0]
+        assert temporal.zero_crossing_rate(signal) == pytest.approx(0.5)
+
+    def test_zcr_single_sample(self):
+        assert temporal.zero_crossing_rate([5.0]) == 0.0
+
+    def test_non_negative_count(self):
+        assert temporal.non_negative_count([-1.0, 0.0, 2.0, -3.0]) == 2.0
+
+
+class TestVector:
+    def test_vector_has_nine_features(self):
+        vector = temporal.temporal_feature_vector([1.0, 2.0, 3.0])
+        assert vector.shape == (9,)
+
+    def test_vector_matches_registry_order(self):
+        signal = [1.0, -2.0, 3.0]
+        vector = temporal.temporal_feature_vector(signal)
+        for position, fn in enumerate(temporal.TEMPORAL_FEATURES.values()):
+            assert vector[position] == pytest.approx(fn(signal))
+
+    def test_registry_has_paper_names(self):
+        assert list(temporal.TEMPORAL_FEATURES) == [
+            "mean", "std", "skewness", "kurtosis", "rms",
+            "max", "min", "zcr", "non_negative_count",
+        ]
+
+    def test_empty_signal_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            temporal.mean([])
+
+    def test_2d_signal_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            temporal.mean(np.ones((2, 2)))

@@ -1,0 +1,92 @@
+"""Graph substrate tests: adjacency and DFS connected components."""
+
+import pytest
+
+from repro.graph.components import UndirectedGraph, connected_components
+
+
+class TestGraphBasics:
+    def test_add_edge_creates_nodes(self):
+        graph = UndirectedGraph()
+        graph.add_edge("a", "b", weight=2.5)
+        assert graph.nodes == ("a", "b")
+        assert graph.has_edge("a", "b")
+        assert graph.has_edge("b", "a")
+        assert graph.edge_weight("a", "b") == 2.5
+
+    def test_add_node_idempotent(self):
+        graph = UndirectedGraph(["x"])
+        graph.add_node("x")
+        assert graph.nodes == ("x",)
+
+    def test_self_loop_ignored(self):
+        graph = UndirectedGraph()
+        graph.add_edge("a", "a")
+        assert graph.edge_count == 0
+        assert not graph.has_edge("a", "a")
+
+    def test_edge_overwrite_updates_weight(self):
+        graph = UndirectedGraph()
+        graph.add_edge("a", "b", weight=1.0)
+        graph.add_edge("a", "b", weight=9.0)
+        assert graph.edge_count == 1
+        assert graph.edge_weight("a", "b") == 9.0
+
+    def test_degree_and_neighbors(self):
+        graph = UndirectedGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("a", "c")
+        assert graph.degree("a") == 2
+        assert graph.neighbors("a") == ("b", "c")
+
+    def test_missing_edge_weight_raises(self):
+        graph = UndirectedGraph(["a", "b"])
+        with pytest.raises(KeyError):
+            graph.edge_weight("a", "b")
+
+
+class TestComponents:
+    def test_isolated_nodes_are_singletons(self):
+        graph = UndirectedGraph(["a", "b", "c"])
+        assert graph.connected_components() == (
+            frozenset({"a"}),
+            frozenset({"b"}),
+            frozenset({"c"}),
+        )
+
+    def test_chain_forms_one_component(self):
+        components = connected_components(
+            "abcd", [("a", "b"), ("b", "c"), ("c", "d")]
+        )
+        assert components == (frozenset("abcd"),)
+
+    def test_two_components_plus_isolate(self):
+        components = connected_components(
+            ["a", "b", "c", "d", "e"], [("a", "b"), ("c", "d")]
+        )
+        assert set(components) == {
+            frozenset({"a", "b"}),
+            frozenset({"c", "d"}),
+            frozenset({"e"}),
+        }
+
+    def test_components_sorted_by_smallest_member(self):
+        components = connected_components(["z", "m", "a"], [("z", "m")])
+        assert components[0] == frozenset({"a"})
+
+    def test_cycle_is_one_component(self):
+        components = connected_components(
+            "abc", [("a", "b"), ("b", "c"), ("c", "a")]
+        )
+        assert components == (frozenset("abc"),)
+
+    def test_long_chain_no_recursion_limit(self):
+        # 10k-node path: iterative DFS must not hit the recursion limit.
+        nodes = list(range(10_000))
+        edges = list(zip(nodes, nodes[1:]))
+        components = connected_components(nodes, edges)
+        assert len(components) == 1
+        assert len(components[0]) == 10_000
+
+    def test_empty_graph(self):
+        assert UndirectedGraph().connected_components() == ()

@@ -1,0 +1,53 @@
+"""AccountGrouper base-class tests: the completion contract."""
+
+import pytest
+
+from repro.core.dataset import SensingDataset
+from repro.core.grouping.base import AccountGrouper
+from repro.core.types import Grouping
+
+
+@pytest.fixture
+def dataset():
+    return SensingDataset.from_matrix(
+        [[1.0]] * 4, account_ids=["a", "b", "c", "d"]
+    )
+
+
+class TestComplete:
+    def test_missing_accounts_become_singletons(self, dataset):
+        partial = Grouping.from_groups([["a", "b"]])
+        completed = AccountGrouper.complete(partial, dataset)
+        assert completed.accounts == {"a", "b", "c", "d"}
+        assert completed.group_of("c") == {"c"}
+        assert completed.group_of("a") == {"a", "b"}
+
+    def test_full_coverage_is_identity(self, dataset):
+        full = Grouping.from_groups([["a", "b"], ["c"], ["d"]])
+        assert AccountGrouper.complete(full, dataset) == full
+
+    def test_complete_never_drops_extra_accounts(self, dataset):
+        # Accounts outside the dataset (e.g. fingerprint-only) survive.
+        wider = Grouping.from_groups([["a", "ghost"]])
+        completed = AccountGrouper.complete(wider, dataset)
+        assert "ghost" in completed.accounts
+        assert completed.group_of("b") == {"b"}
+
+    def test_abstract_interface(self):
+        with pytest.raises(TypeError):
+            AccountGrouper()  # type: ignore[abstract]
+
+
+class TestCustomGrouperIntegration:
+    def test_minimal_custom_grouper_works_with_framework(self, dataset):
+        from repro.core.framework import SybilResistantTruthDiscovery
+
+        class PairGrouper(AccountGrouper):
+            def group(self, dataset, fingerprints=None):
+                accounts = sorted(dataset.accounts)
+                pairs = [accounts[i : i + 2] for i in range(0, len(accounts), 2)]
+                return Grouping.from_groups(pairs)
+
+        result = SybilResistantTruthDiscovery(PairGrouper()).discover(dataset)
+        assert result.truths["T1"] == pytest.approx(1.0)
+        assert len(result.grouping) == 2

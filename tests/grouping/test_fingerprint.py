@@ -1,0 +1,118 @@
+"""AG-FP tests: feature projection, clustering, and grouping semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import SensingDataset
+from repro.core.grouping.fingerprint import FingerprintGrouper
+from repro.errors import FingerprintError
+from repro.ml.metrics import adjusted_rand_index
+from repro.sensors.device import PHONE_MODEL_CATALOG, MEMSDevice
+from repro.sensors.fingerprint import capture_fingerprint
+
+
+@pytest.fixture(scope="module")
+def three_phone_captures():
+    """5 captures from each of 3 distinct-model phones (Fig. 2 setting)."""
+    rng = np.random.default_rng(42)
+    captures = []
+    for index, model_name in enumerate(("iPhone 6S", "Nexus 6P", "LG G5")):
+        device = MEMSDevice.manufacture(
+            f"dev{index}", PHONE_MODEL_CATALOG[model_name], rng
+        )
+        for take in range(5):
+            captures.append(
+                capture_fingerprint(f"acct{index}-{take}", device, rng)
+            )
+    return captures
+
+
+@pytest.fixture
+def matching_dataset(three_phone_captures):
+    accounts = [c.account_id for c in three_phone_captures]
+    values = [[float(i)] for i in range(len(accounts))]
+    return SensingDataset.from_matrix(values, account_ids=accounts)
+
+
+class TestValidation:
+    def test_requires_fingerprints(self, matching_dataset):
+        with pytest.raises(FingerprintError, match="requires fingerprint"):
+            FingerprintGrouper().group(matching_dataset, None)
+
+    def test_rejects_duplicate_account_captures(
+        self, matching_dataset, three_phone_captures
+    ):
+        doubled = list(three_phone_captures) + [three_phone_captures[0]]
+        with pytest.raises(FingerprintError, match="multiple captures"):
+            FingerprintGrouper().group(matching_dataset, doubled)
+
+    def test_rejects_bad_n_devices(self):
+        with pytest.raises(ValueError, match="n_devices"):
+            FingerprintGrouper(n_devices=0)
+
+
+class TestClustering:
+    def test_oracle_k_recovers_distinct_models(
+        self, matching_dataset, three_phone_captures
+    ):
+        grouping = FingerprintGrouper(n_devices=3).group(
+            matching_dataset, three_phone_captures
+        )
+        owners = [c.account_id.split("-")[0] for c in three_phone_captures]
+        labels = grouping.as_labels([c.account_id for c in three_phone_captures])
+        assert adjusted_rand_index(owners, labels) == pytest.approx(1.0)
+
+    def test_elbow_k_reasonable_on_distinct_models(
+        self, matching_dataset, three_phone_captures
+    ):
+        grouping = FingerprintGrouper().group(
+            matching_dataset, three_phone_captures
+        )
+        # Three well-separated models: the estimated device count should
+        # land in a small band around 3.
+        assert 2 <= len(grouping) <= 6
+
+    def test_deterministic(self, matching_dataset, three_phone_captures):
+        one = FingerprintGrouper(n_devices=3).group(
+            matching_dataset, three_phone_captures
+        )
+        two = FingerprintGrouper(n_devices=3).group(
+            matching_dataset, three_phone_captures
+        )
+        assert one == two
+
+    def test_project_features_shape(self, three_phone_captures):
+        features = FingerprintGrouper(n_components=4).project_features(
+            three_phone_captures
+        )
+        assert features.shape == (15, 4)
+
+    def test_full_feature_space_option(self, three_phone_captures):
+        features = FingerprintGrouper(n_components=None).project_features(
+            three_phone_captures
+        )
+        assert features.shape == (15, 80)
+
+
+class TestCompletion:
+    def test_accounts_without_capture_become_singletons(
+        self, three_phone_captures
+    ):
+        accounts = [c.account_id for c in three_phone_captures] + ["latecomer"]
+        values = [[float(i)] for i in range(len(accounts))]
+        dataset = SensingDataset.from_matrix(values, account_ids=accounts)
+        grouping = FingerprintGrouper(n_devices=3).group(
+            dataset, three_phone_captures
+        )
+        assert grouping.group_of("latecomer") == {"latecomer"}
+
+    def test_attack1_accounts_grouped_in_scenario(self, paper_scenario):
+        scenario = paper_scenario
+        grouping = FingerprintGrouper(n_devices=11).group(
+            scenario.dataset, scenario.fingerprints
+        )
+        # The Attack-I attacker (s1) uses one device for all 5 accounts;
+        # a fingerprint grouping should place most of them together.
+        attack1 = [a for a in scenario.sybil_accounts if a.startswith("s1")]
+        indices = {grouping.group_index_of(a) for a in attack1}
+        assert len(indices) <= 3

@@ -1,0 +1,101 @@
+"""AG-TR tests: DTW dissimilarities (Eq. 8) and threshold grouping."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import SensingDataset
+from repro.core.grouping.trajectory import (
+    TrajectoryGrouper,
+    trajectory_dissimilarity_matrix,
+)
+from repro.experiments.paperdata import TABLE1_ACCOUNTS, paper_example_dataset
+
+
+class TestDissimilarityMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        order, dissimilarity = trajectory_dissimilarity_matrix(
+            paper_example_dataset(), accounts=TABLE1_ACCOUNTS
+        )
+        return dict(order=list(order), matrix=dissimilarity)
+
+    def _value(self, data, a, b):
+        return data["matrix"][data["order"].index(a), data["order"].index(b)]
+
+    def test_symmetric_zero_diagonal(self, matrix):
+        m = matrix["matrix"]
+        assert np.allclose(m, m.T)
+        assert np.allclose(np.diag(m), 0.0)
+
+    def test_sybil_accounts_nearly_identical(self, matrix):
+        assert self._value(matrix, "4'", "4''") < 0.01
+
+    def test_fig4a_task_series_costs(self, matrix):
+        # The task-series component dominates; the paper's Fig. 4(a)
+        # values are 2 between accounts 1 and 2, and 1 between 1 and 4'.
+        assert self._value(matrix, "1", "2") == pytest.approx(2.0, abs=0.1)
+        assert self._value(matrix, "1", "4'") == pytest.approx(1.0, abs=0.1)
+
+    def test_timestamp_scale_validation(self):
+        with pytest.raises(ValueError, match="timestamp_scale"):
+            trajectory_dissimilarity_matrix(
+                paper_example_dataset(), timestamp_scale=0.0
+            )
+
+    def test_account_without_observations_gives_nan(self):
+        # "ghost" never submitted anything, so there is no trajectory
+        # evidence either way; the matrix marks the pair NaN (no edge).
+        base = SensingDataset.from_matrix([[1.0]])
+        _, matrix = trajectory_dissimilarity_matrix(
+            base, accounts=["a0", "ghost"]
+        )
+        assert np.isnan(matrix[0, 1])
+
+    def test_normalized_variant_differs_and_stays_nonnegative(self):
+        ds = paper_example_dataset()
+        _, raw = trajectory_dissimilarity_matrix(ds, normalized=False)
+        _, norm = trajectory_dissimilarity_matrix(ds, normalized=True)
+        off_diagonal = ~np.eye(len(raw), dtype=bool)
+        assert (norm[off_diagonal] >= 0).all()
+        # Eq. 7 normalization changes the values (it is not a no-op).
+        assert not np.allclose(norm[off_diagonal], raw[off_diagonal])
+
+
+class TestGrouping:
+    def test_paper_example_grouping_matches_fig4(self, paper_dataset):
+        grouping = TrajectoryGrouper(threshold=1.0).group(paper_dataset)
+        groups = {frozenset(g) for g in grouping.groups}
+        assert groups == {
+            frozenset({"4'", "4''", "4'''"}),
+            frozenset({"1"}),
+            frozenset({"2"}),
+            frozenset({"3"}),
+        }
+
+    def test_tiny_threshold_all_singletons(self, paper_dataset):
+        grouping = TrajectoryGrouper(threshold=1e-6).group(paper_dataset)
+        assert len(grouping) == len(paper_dataset.accounts)
+
+    def test_huge_threshold_one_group(self, paper_dataset):
+        grouping = TrajectoryGrouper(threshold=1e9).group(paper_dataset)
+        assert len(grouping) == 1
+
+    def test_fingerprints_ignored(self, paper_dataset):
+        assert TrajectoryGrouper().group(
+            paper_dataset, fingerprints=["bogus"]
+        ) == TrajectoryGrouper().group(paper_dataset)
+
+    def test_isolates_both_attackers_in_scenario(self, paper_scenario):
+        grouping = TrajectoryGrouper().group(paper_scenario.dataset)
+        for attacker_accounts in paper_scenario.user_partition.non_singleton_groups():
+            sample = next(iter(attacker_accounts))
+            group = grouping.group_of(sample)
+            assert attacker_accounts <= group
+
+    def test_legit_users_not_grouped_with_attackers(self, paper_scenario):
+        grouping = TrajectoryGrouper().group(paper_scenario.dataset)
+        sybil = paper_scenario.sybil_accounts
+        for account in paper_scenario.dataset.accounts:
+            if account in sybil:
+                continue
+            assert not (grouping.group_of(account) & sybil), account

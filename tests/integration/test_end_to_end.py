@@ -1,0 +1,173 @@
+"""Integration tests: the full pipeline on realized campaigns.
+
+These tests exercise the paper's headline claims end to end: a scenario is
+simulated, accounts are grouped by each method, Algorithm 2 runs on top,
+and accuracy is compared against plain CRH.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import MeanAggregator, MedianAggregator
+from repro.core.crh import CRH
+from repro.core.framework import SybilResistantTruthDiscovery
+from repro.core.grouping import (
+    CombinedGrouper,
+    FingerprintGrouper,
+    TaskSetGrouper,
+    TrajectoryGrouper,
+)
+from repro.metrics.accuracy import mean_absolute_error
+from repro.ml.metrics import adjusted_rand_index
+from repro.simulation.scenario import PaperScenarioConfig, build_scenario
+
+
+class TestHeadlineClaims:
+    def test_crh_accurate_without_attack(self, paper_scenario):
+        clean = paper_scenario.clean_dataset()
+        mae = mean_absolute_error(
+            CRH().discover(clean).truths, paper_scenario.ground_truths
+        )
+        assert mae < 2.0
+
+    def test_crh_vulnerable_under_attack(self, paper_scenario):
+        attacked = mean_absolute_error(
+            CRH().discover(paper_scenario.dataset).truths,
+            paper_scenario.ground_truths,
+        )
+        assert attacked > 8.0
+
+    @pytest.mark.parametrize(
+        "grouper_name", ["AG-TS", "AG-TR", "AG-FP", "AG-COMB"]
+    )
+    def test_framework_beats_crh(self, paper_scenario, grouper_name):
+        groupers = {
+            "AG-TS": TaskSetGrouper(),
+            "AG-TR": TrajectoryGrouper(),
+            "AG-FP": FingerprintGrouper(),
+            "AG-COMB": CombinedGrouper(
+                [FingerprintGrouper(), TrajectoryGrouper()]
+            ),
+        }
+        framework = SybilResistantTruthDiscovery(groupers[grouper_name])
+        result = framework.discover(
+            paper_scenario.dataset, paper_scenario.fingerprints
+        )
+        framework_mae = mean_absolute_error(
+            result.truths, paper_scenario.ground_truths
+        )
+        crh_mae = mean_absolute_error(
+            CRH().discover(paper_scenario.dataset).truths,
+            paper_scenario.ground_truths,
+        )
+        assert framework_mae < crh_mae
+
+    def test_td_tr_nearly_recovers_clean_accuracy(self, paper_scenario):
+        result = SybilResistantTruthDiscovery(TrajectoryGrouper()).discover(
+            paper_scenario.dataset
+        )
+        mae = mean_absolute_error(result.truths, paper_scenario.ground_truths)
+        assert mae < 2.5
+
+    def test_oracle_grouping_is_upper_bound(self, paper_scenario):
+        oracle = SybilResistantTruthDiscovery().discover(
+            paper_scenario.dataset, grouping=paper_scenario.user_partition
+        )
+        oracle_mae = mean_absolute_error(
+            oracle.truths, paper_scenario.ground_truths
+        )
+        assert oracle_mae < 2.5
+
+
+class TestGroupingQuality:
+    def test_ag_tr_perfect_on_moderate_activeness(self, paper_scenario):
+        grouping = TrajectoryGrouper().group(paper_scenario.dataset)
+        order = paper_scenario.dataset.accounts
+        ari = adjusted_rand_index(
+            paper_scenario.user_partition.as_labels(order),
+            grouping.restricted_to(order).as_labels(order),
+        )
+        assert ari == pytest.approx(1.0)
+
+    def test_ag_ts_groups_active_attackers(self, high_activity_scenario):
+        grouping = TaskSetGrouper().group(high_activity_scenario.dataset)
+        for accounts in high_activity_scenario.user_partition.non_singleton_groups():
+            sample = next(iter(accounts))
+            assert accounts <= grouping.group_of(sample)
+
+    def test_ag_fp_ari_positive(self, paper_scenario):
+        grouping = FingerprintGrouper().group(
+            paper_scenario.dataset, paper_scenario.fingerprints
+        )
+        order = paper_scenario.dataset.accounts
+        ari = adjusted_rand_index(
+            paper_scenario.user_partition.as_labels(order),
+            grouping.restricted_to(order).as_labels(order),
+        )
+        assert ari > 0.0
+
+
+class TestBaselinesUnderAttack:
+    def test_mean_is_most_vulnerable(self, high_activity_scenario):
+        scenario = high_activity_scenario
+        mean_mae = mean_absolute_error(
+            MeanAggregator().discover(scenario.dataset).truths,
+            scenario.ground_truths,
+        )
+        framework_mae = mean_absolute_error(
+            SybilResistantTruthDiscovery(TrajectoryGrouper())
+            .discover(scenario.dataset)
+            .truths,
+            scenario.ground_truths,
+        )
+        assert framework_mae < mean_mae
+
+    def test_median_fails_when_sybil_accounts_are_majority(
+        self, high_activity_scenario
+    ):
+        # 10 Sybil accounts vs ~4 honest claimants per task at legit
+        # activeness 0.5: the median flips to the fabricated side.
+        scenario = high_activity_scenario
+        median_mae = mean_absolute_error(
+            MedianAggregator().discover(scenario.dataset).truths,
+            scenario.ground_truths,
+        )
+        framework_mae = mean_absolute_error(
+            SybilResistantTruthDiscovery(TrajectoryGrouper())
+            .discover(scenario.dataset)
+            .truths,
+            scenario.ground_truths,
+        )
+        assert framework_mae < median_mae
+
+
+class TestAttackSeverityMonotonicity:
+    def test_crh_error_grows_with_sybil_activeness(self):
+        maes = []
+        for sybil_activeness in (0.2, 0.6, 1.0):
+            rng = np.random.default_rng(123)
+            scenario = build_scenario(
+                PaperScenarioConfig(sybil_activeness=sybil_activeness), rng
+            )
+            maes.append(
+                mean_absolute_error(
+                    CRH().discover(scenario.dataset).truths,
+                    scenario.ground_truths,
+                )
+            )
+        assert maes[0] < maes[-1]
+
+    def test_more_legit_data_reduces_crh_error(self):
+        maes = []
+        for legit_activeness in (0.2, 1.0):
+            rng = np.random.default_rng(321)
+            scenario = build_scenario(
+                PaperScenarioConfig(legit_activeness=legit_activeness), rng
+            )
+            maes.append(
+                mean_absolute_error(
+                    CRH().discover(scenario.dataset).truths,
+                    scenario.ground_truths,
+                )
+            )
+        assert maes[1] < maes[0]

@@ -1,0 +1,56 @@
+"""MAE / RMSE metric tests."""
+
+import pytest
+
+from repro.errors import DataValidationError
+from repro.metrics.accuracy import (
+    error_by_task,
+    mean_absolute_error,
+    root_mean_squared_error,
+)
+
+
+class TestMAE:
+    def test_known_value(self):
+        estimates = {"T1": -50.0, "T2": -70.0}
+        truths = {"T1": -60.0, "T2": -70.0}
+        assert mean_absolute_error(estimates, truths) == pytest.approx(5.0)
+
+    def test_perfect_estimates_zero(self):
+        truths = {"T1": 1.0, "T2": 2.0}
+        assert mean_absolute_error(dict(truths), truths) == 0.0
+
+    def test_intersection_semantics(self):
+        estimates = {"T1": 0.0, "T9": 100.0}
+        truths = {"T1": 1.0, "T2": 50.0}
+        assert mean_absolute_error(estimates, truths) == pytest.approx(1.0)
+
+    def test_strict_missing_estimate_raises(self):
+        with pytest.raises(DataValidationError, match="no estimate"):
+            mean_absolute_error({"T1": 0.0}, {"T1": 0.0, "T2": 1.0}, strict=True)
+
+    def test_no_common_tasks_raises(self):
+        with pytest.raises(DataValidationError, match="share no tasks"):
+            mean_absolute_error({"T1": 0.0}, {"T2": 1.0})
+
+
+class TestRMSE:
+    def test_known_value(self):
+        estimates = {"T1": 3.0, "T2": 0.0}
+        truths = {"T1": 0.0, "T2": 4.0}
+        assert root_mean_squared_error(estimates, truths) == pytest.approx(
+            (25.0 / 2) ** 0.5
+        )
+
+    def test_rmse_at_least_mae(self):
+        estimates = {"T1": 0.0, "T2": 10.0, "T3": 2.0}
+        truths = {"T1": 5.0, "T2": 0.0, "T3": 1.0}
+        assert root_mean_squared_error(estimates, truths) >= mean_absolute_error(
+            estimates, truths
+        )
+
+
+class TestErrorByTask:
+    def test_per_task_errors(self):
+        errors = error_by_task({"T1": 1.0, "T2": -1.0}, {"T1": 0.0, "T2": 3.0})
+        assert errors == {"T1": 1.0, "T2": 4.0}

@@ -1,0 +1,114 @@
+"""Sybil-detection metric tests."""
+
+import pytest
+
+from repro.core.types import Grouping
+from repro.metrics.detection import (
+    DetectionReport,
+    detection_report,
+    flagged_accounts,
+    pairwise_report,
+)
+
+
+@pytest.fixture
+def grouping():
+    # Suspicious groups: {s1,s2,s3} and {u1,s4}; singletons: u2, u3.
+    return Grouping.from_groups(
+        [["s1", "s2", "s3"], ["u1", "s4"], ["u2"], ["u3"]]
+    )
+
+
+SYBIL = {"s1", "s2", "s3", "s4"}
+
+
+class TestFlagged:
+    def test_flagged_is_non_singleton_union(self, grouping):
+        assert flagged_accounts(grouping) == {"s1", "s2", "s3", "u1", "s4"}
+
+    def test_all_singletons_flags_nothing(self):
+        grouping = Grouping.singletons(["a", "b"])
+        assert flagged_accounts(grouping) == frozenset()
+
+
+class TestDetectionReport:
+    def test_confusion_counts(self, grouping):
+        report = detection_report(grouping, SYBIL)
+        assert report.true_positives == 4   # all four sybil accounts flagged
+        assert report.false_positives == 1  # u1
+        assert report.false_negatives == 0
+        assert report.true_negatives == 2   # u2, u3
+
+    def test_precision_recall_f1(self, grouping):
+        report = detection_report(grouping, SYBIL)
+        assert report.precision == pytest.approx(4 / 5)
+        assert report.recall == pytest.approx(1.0)
+        assert report.f1 == pytest.approx(2 * 0.8 / 1.8)
+        assert report.accuracy == pytest.approx(6 / 7)
+
+    def test_no_flags_perfect_precision(self):
+        grouping = Grouping.singletons(["a", "b", "s1"])
+        report = detection_report(grouping, {"s1"})
+        assert report.precision == 1.0
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+
+    def test_no_sybil_accounts(self):
+        grouping = Grouping.from_groups([["a", "b"]])
+        report = detection_report(grouping, set())
+        assert report.recall == 1.0
+        assert report.precision == 0.0
+
+    def test_unknown_sybil_accounts_ignored(self, grouping):
+        report = detection_report(grouping, SYBIL | {"ghost"})
+        assert report.false_negatives == 0
+
+    def test_degenerate_empty_report(self):
+        report = DetectionReport(0, 0, 0, 0)
+        assert report.accuracy == 1.0
+
+
+class TestPairwiseReport:
+    def test_perfect_grouping(self):
+        truth = Grouping.from_groups([["s1", "s2"], ["u1"]])
+        report = pairwise_report(truth, truth)
+        assert report.false_merges == 0
+        assert report.false_splits == 0
+        assert report.merge_precision == 1.0
+        assert report.merge_recall == 1.0
+
+    def test_false_merge_counted(self):
+        truth = Grouping.from_groups([["s1", "s2"], ["u1"]])
+        predicted = Grouping.from_groups([["s1", "s2", "u1"]])
+        report = pairwise_report(predicted, truth)
+        assert report.true_merges == 1   # (s1, s2)
+        assert report.false_merges == 2  # (s1,u1), (s2,u1)
+        assert report.merge_precision == pytest.approx(1 / 3)
+
+    def test_false_split_counted(self):
+        truth = Grouping.from_groups([["s1", "s2", "s3"]])
+        predicted = Grouping.from_groups([["s1", "s2"], ["s3"]])
+        report = pairwise_report(predicted, truth)
+        assert report.false_splits == 2
+        assert report.merge_recall == pytest.approx(1 / 3)
+
+    def test_scores_only_common_accounts(self):
+        truth = Grouping.from_groups([["a", "b"], ["zzz"]])
+        predicted = Grouping.from_groups([["a", "b"], ["extra"]])
+        report = pairwise_report(predicted, truth)
+        assert report.true_merges == 1
+        assert report.false_merges == 0
+
+    def test_disjoint_groupings_rejected(self):
+        with pytest.raises(ValueError, match="share no accounts"):
+            pairwise_report(
+                Grouping.from_groups([["a"]]), Grouping.from_groups([["b"]])
+            )
+
+    def test_end_to_end_ag_tr_high_precision(self, paper_scenario):
+        from repro.core.grouping import TrajectoryGrouper
+
+        grouping = TrajectoryGrouper().group(paper_scenario.dataset)
+        report = detection_report(grouping, paper_scenario.sybil_accounts)
+        assert report.recall == 1.0
+        assert report.precision == 1.0

@@ -1,0 +1,67 @@
+"""Elbow-method tests: knee detection on curves with known structure."""
+
+import numpy as np
+import pytest
+
+from repro.ml.elbow import estimate_k_elbow, sse_curve
+
+
+def _blobs(rng, k, per_cluster=15, separation=50.0, spread=0.5):
+    centers = rng.normal(size=(k, 2)) * separation
+    return np.vstack(
+        [rng.normal(c, spread, size=(per_cluster, 2)) for c in centers]
+    )
+
+
+class TestElbow:
+    def test_clear_three_cluster_structure(self, rng):
+        points = _blobs(rng, 3)
+        assert estimate_k_elbow(points, rng=rng) == 3
+
+    def test_clear_five_cluster_structure(self, rng):
+        points = _blobs(rng, 5)
+        estimate = estimate_k_elbow(points, rng=rng)
+        assert 4 <= estimate <= 6
+
+    def test_single_blob_reports_small_k(self, rng):
+        # A single Gaussian blob has no true cluster structure; the chord
+        # knee still picks *some* small k (the SSE curve is convex), but
+        # it must not run away toward k_max.
+        points = rng.normal(size=(30, 2)) * 0.01
+        assert estimate_k_elbow(points, k_max=10, rng=rng) <= 5
+
+    def test_identical_points_report_one(self, rng):
+        points = np.ones((10, 3))
+        assert estimate_k_elbow(points, rng=rng) == 1
+
+    def test_k_max_respected(self, rng):
+        points = _blobs(rng, 6)
+        result = sse_curve(points, k_max=4, rng=rng)
+        assert max(result.candidate_ks) == 4
+        assert result.k <= 4
+
+    def test_k_max_clamped_to_n(self, rng):
+        points = rng.normal(size=(5, 2))
+        result = sse_curve(points, k_max=50, rng=rng)
+        assert max(result.candidate_ks) == 5
+
+    def test_sse_curve_generally_decreasing(self, rng):
+        # k-means with finitely many restarts is not guaranteed strictly
+        # monotone in k (local optima), but the curve must trend down.
+        points = _blobs(rng, 3)
+        result = sse_curve(points, rng=rng)
+        sses = list(result.sse)
+        slack = 0.05 * sses[0]
+        assert all(a >= b - slack for a, b in zip(sses, sses[1:]))
+        assert sses[-1] <= sses[0]
+
+    def test_empty_points_rejected(self, rng):
+        with pytest.raises(ValueError, match="empty"):
+            sse_curve(np.empty((0, 2)), rng=rng)
+
+    def test_bad_k_max_rejected(self, rng):
+        with pytest.raises(ValueError, match="k_max"):
+            sse_curve(np.ones((3, 2)), k_max=0, rng=rng)
+
+    def test_single_point(self, rng):
+        assert estimate_k_elbow(np.ones((1, 2)), rng=rng) == 1

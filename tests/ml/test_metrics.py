@@ -1,0 +1,150 @@
+"""Clustering-metric tests: ARI, Rand index, SSE, silhouette."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import (
+    adjusted_rand_index,
+    pair_confusion,
+    rand_index,
+    silhouette_score,
+    sum_squared_errors,
+)
+
+
+def _brute_force_pairs(a, b):
+    """O(n^2) reference implementation of the pair-confusion counts."""
+    counts = [0, 0, 0, 0]
+    for i, j in itertools.combinations(range(len(a)), 2):
+        same_a = a[i] == a[j]
+        same_b = b[i] == b[j]
+        if same_a and same_b:
+            counts[0] += 1
+        elif same_a:
+            counts[1] += 1
+        elif same_b:
+            counts[2] += 1
+        else:
+            counts[3] += 1
+    return tuple(counts)
+
+
+class TestPairConfusion:
+    def test_against_brute_force(self, rng):
+        a = rng.integers(0, 4, size=30).tolist()
+        b = rng.integers(0, 3, size=30).tolist()
+        assert pair_confusion(a, b) == _brute_force_pairs(a, b)
+
+    def test_counts_sum_to_total_pairs(self):
+        a = [0, 0, 1, 1, 2]
+        b = [0, 1, 1, 1, 0]
+        counts = pair_confusion(a, b)
+        assert sum(counts) == 10
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            pair_confusion([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            pair_confusion([], [])
+
+    def test_string_labels_supported(self):
+        assert pair_confusion(["x", "x"], ["p", "p"]) == (1, 0, 0, 0)
+
+
+class TestRandIndex:
+    def test_identical_partitions(self):
+        assert rand_index([0, 0, 1, 1], [5, 5, 9, 9]) == 1.0
+
+    def test_completely_discordant(self):
+        # One partition groups everything, the other nothing.
+        assert rand_index([0, 0, 0], [0, 1, 2]) == 0.0
+
+    def test_bounded(self, rng):
+        a = rng.integers(0, 3, size=20).tolist()
+        b = rng.integers(0, 3, size=20).tolist()
+        assert 0.0 <= rand_index(a, b) <= 1.0
+
+
+class TestAdjustedRandIndex:
+    def test_identical_partitions_score_one(self):
+        assert adjusted_rand_index([0, 1, 1, 2], [4, 7, 7, 9]) == pytest.approx(1.0)
+
+    def test_label_permutation_invariant(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [2, 2, 0, 0, 1, 1]
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_symmetric(self, rng):
+        a = rng.integers(0, 4, size=25).tolist()
+        b = rng.integers(0, 4, size=25).tolist()
+        assert adjusted_rand_index(a, b) == pytest.approx(
+            adjusted_rand_index(b, a)
+        )
+
+    def test_random_partitions_near_zero(self, rng):
+        scores = []
+        for trial in range(30):
+            a = rng.integers(0, 4, size=60).tolist()
+            b = rng.integers(0, 4, size=60).tolist()
+            scores.append(adjusted_rand_index(a, b))
+        assert abs(float(np.mean(scores))) < 0.05
+
+    def test_known_textbook_value(self):
+        # Hubert & Arabie style example.
+        a = [0, 0, 0, 1, 1, 1]
+        b = [0, 0, 1, 1, 2, 2]
+        # pair counts: a=2(01,34... let's trust the closed form), verified
+        # against sklearn.metrics.adjusted_rand_score == 0.2424...
+        assert adjusted_rand_index(a, b) == pytest.approx(0.242424, abs=1e-5)
+
+    def test_degenerate_all_singletons_both(self):
+        assert adjusted_rand_index([0, 1, 2], [5, 6, 7]) == 1.0
+
+    def test_degenerate_one_block_vs_singletons(self):
+        assert adjusted_rand_index([0, 0, 0], [1, 2, 3]) == 0.0
+
+    def test_bounded_below_by_minus_one(self, rng):
+        for trial in range(20):
+            a = rng.integers(0, 5, size=12).tolist()
+            b = rng.integers(0, 5, size=12).tolist()
+            assert -1.0 <= adjusted_rand_index(a, b) <= 1.0
+
+
+class TestSSE:
+    def test_known_value(self):
+        points = np.array([[0.0, 0.0], [2.0, 0.0], [10.0, 0.0]])
+        labels = np.array([0, 0, 1])
+        centroids = np.array([[1.0, 0.0], [10.0, 0.0]])
+        assert sum_squared_errors(points, labels, centroids) == pytest.approx(2.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sum_squared_errors(np.ones((3, 2)), np.zeros(2, dtype=int), np.ones((1, 2)))
+
+
+class TestSilhouette:
+    def test_well_separated_clusters_high(self, rng):
+        points = np.vstack(
+            [rng.normal(0, 0.1, (20, 2)), rng.normal(10, 0.1, (20, 2))]
+        )
+        labels = np.array([0] * 20 + [1] * 20)
+        assert silhouette_score(points, labels) > 0.9
+
+    def test_random_labels_low(self, rng):
+        points = rng.normal(size=(40, 2))
+        labels = rng.integers(0, 2, size=40)
+        assert silhouette_score(points, labels) < 0.3
+
+    def test_requires_two_clusters(self, rng):
+        with pytest.raises(ValueError, match="2 clusters"):
+            silhouette_score(rng.normal(size=(5, 2)), np.zeros(5, dtype=int))
+
+    def test_singleton_cluster_scores_zero_contribution(self, rng):
+        points = np.array([[0.0], [0.1], [50.0]])
+        labels = np.array([0, 0, 1])
+        score = silhouette_score(points, labels)
+        assert 0.0 < score <= 1.0

@@ -1,0 +1,84 @@
+"""PCA tests: variance ordering, projection geometry, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataValidationError
+from repro.ml.pca import PCA
+
+
+class TestValidation:
+    def test_rejects_bad_n_components(self):
+        with pytest.raises(ValueError, match="n_components"):
+            PCA(n_components=0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataValidationError, match="empty"):
+            PCA().fit(np.empty((0, 3)))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(DataValidationError, match="2-D"):
+            PCA().fit(np.ones(5))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            PCA().transform(np.ones((2, 2)))
+
+
+class TestGeometry:
+    def test_explained_variance_sorted_descending(self, rng):
+        points = rng.normal(size=(100, 5)) * np.array([10.0, 5.0, 2.0, 1.0, 0.1])
+        pca = PCA().fit(points)
+        variances = pca.explained_variance_
+        assert all(a >= b - 1e-9 for a, b in zip(variances, variances[1:]))
+
+    def test_ratios_sum_to_one_with_all_components(self, rng):
+        points = rng.normal(size=(30, 4))
+        pca = PCA().fit(points)
+        assert pca.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_dominant_direction_recovered(self, rng):
+        # Points along the (1, 1) diagonal: PC1 must align with it.
+        t = rng.normal(size=200)
+        points = np.column_stack([t, t]) + rng.normal(scale=0.01, size=(200, 2))
+        pca = PCA(n_components=1).fit(points)
+        direction = pca.components_[0]
+        assert abs(direction @ np.array([1.0, 1.0]) / np.sqrt(2)) > 0.999
+
+    def test_components_orthonormal(self, rng):
+        points = rng.normal(size=(50, 6))
+        pca = PCA(n_components=4).fit(points)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(4), atol=1e-9)
+
+    def test_projection_centers_data(self, rng):
+        points = rng.normal(loc=100.0, size=(40, 3))
+        projected = PCA().fit_transform(points)
+        assert np.allclose(projected.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_full_projection_preserves_distances(self, rng):
+        points = rng.normal(size=(20, 4))
+        projected = PCA().fit_transform(points)
+        original = np.linalg.norm(points[0] - points[1])
+        mapped = np.linalg.norm(projected[0] - projected[1])
+        assert mapped == pytest.approx(original)
+
+    def test_n_components_clamped(self, rng):
+        points = rng.normal(size=(3, 10))
+        pca = PCA(n_components=9).fit(points)
+        # Rank is limited by the sample count.
+        assert pca.components_.shape[0] == 3
+
+    def test_deterministic_sign_convention(self, rng):
+        points = rng.normal(size=(30, 4))
+        one = PCA(n_components=2).fit(points).components_
+        two = PCA(n_components=2).fit(points.copy()).components_
+        assert np.allclose(one, two)
+        for row in one:
+            assert row[np.argmax(np.abs(row))] > 0
+
+    def test_constant_data(self):
+        points = np.ones((10, 3))
+        pca = PCA(n_components=2).fit(points)
+        assert np.allclose(pca.explained_variance_, 0.0)
+        assert np.allclose(pca.transform(points), 0.0)

@@ -1,0 +1,115 @@
+"""MEMS device model tests: manufacturing, measurement, Table IV."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.device import (
+    GRAVITY,
+    PAPER_PHONES,
+    PHONE_MODEL_CATALOG,
+    MEMSDevice,
+    build_paper_inventory,
+)
+
+
+@pytest.fixture
+def device(rng):
+    return MEMSDevice.manufacture("test", PHONE_MODEL_CATALOG["iPhone 6S"], rng)
+
+
+class TestManufacture:
+    def test_parameters_near_model_nominal(self, device):
+        model = device.model
+        for chip, nominal in zip(device.accel_gain, model.accel_gain_nominal):
+            assert chip == pytest.approx(nominal, abs=6 * model.accel_gain_tolerance)
+        for chip, nominal in zip(device.gyro_bias, model.gyro_bias_nominal):
+            assert chip == pytest.approx(nominal, abs=6 * model.gyro_bias_tolerance)
+
+    def test_two_chips_of_one_model_differ(self, rng):
+        model = PHONE_MODEL_CATALOG["Nexus 6P"]
+        a = MEMSDevice.manufacture("a", model, rng)
+        b = MEMSDevice.manufacture("b", model, rng)
+        assert a.accel_bias != b.accel_bias
+        assert a.gyro_bias != b.gyro_bias
+
+    def test_deterministic_under_seed(self):
+        model = PHONE_MODEL_CATALOG["LG G5"]
+        a = MEMSDevice.manufacture("x", model, np.random.default_rng(3))
+        b = MEMSDevice.manufacture("x", model, np.random.default_rng(3))
+        assert a == b
+
+    def test_noise_level_within_tolerance_band(self, device):
+        model = device.model
+        low = model.accel_noise * (1 - model.noise_tolerance)
+        high = model.accel_noise * (1 + model.noise_tolerance)
+        assert low <= device.accel_noise <= high
+
+
+class TestMeasurement:
+    def test_shape_preserved(self, device, rng):
+        signal = np.zeros((3, 100))
+        assert device.measure_accel(signal, rng).shape == (3, 100)
+        assert device.measure_gyro(signal, rng).shape == (3, 100)
+
+    def test_bad_shape_rejected(self, device, rng):
+        with pytest.raises(ValueError, match=r"\(3, T\)"):
+            device.measure_accel(np.zeros((100, 3)), rng)
+
+    def test_bias_visible_in_still_measurement(self, device, rng):
+        still = np.zeros((3, 5000))
+        measured = device.measure_gyro(still, rng)
+        for axis in range(3):
+            assert measured[axis].mean() == pytest.approx(
+                device.gyro_bias[axis], abs=0.001
+            )
+
+    def test_gain_applied(self, device, rng):
+        constant = np.full((3, 5000), 10.0)
+        measured = device.measure_accel(constant, rng)
+        for axis in range(3):
+            expected = 10.0 * device.accel_gain[axis] + device.accel_bias[axis]
+            assert measured[axis].mean() == pytest.approx(expected, abs=0.02)
+
+    def test_quantization_grid(self, device, rng):
+        measured = device.measure_accel(np.zeros((3, 50)), rng)
+        step = device.model.accel_resolution
+        remainder = np.abs(measured / step - np.round(measured / step))
+        assert remainder.max() < 1e-9
+
+    def test_zero_resolution_disables_quantization(self, rng):
+        model = PHONE_MODEL_CATALOG["iPhone 6S"]
+        from dataclasses import replace
+
+        raw_model = replace(model, accel_resolution=0.0)
+        device = MEMSDevice.manufacture("raw", raw_model, rng)
+        measured = device.measure_accel(np.zeros((3, 100)), rng)
+        # Unquantized Gaussian noise essentially never lands on a grid.
+        assert len(np.unique(measured)) == measured.size
+
+
+class TestCatalog:
+    def test_all_paper_models_in_catalog(self):
+        for name, _ in PAPER_PHONES:
+            assert name in PHONE_MODEL_CATALOG
+
+    def test_table4_total_is_eleven(self):
+        assert sum(quantity for _, quantity in PAPER_PHONES) == 11
+
+    def test_inventory_matches_table4(self, rng):
+        devices = build_paper_inventory(rng)
+        assert len(devices) == 11
+        counts = {}
+        for device in devices:
+            counts[device.model.name] = counts.get(device.model.name, 0) + 1
+        assert counts == dict(PAPER_PHONES)
+
+    def test_inventory_ids_unique(self, rng):
+        devices = build_paper_inventory(rng)
+        assert len({device.device_id for device in devices}) == 11
+
+    def test_models_have_distinct_gyro_biases(self):
+        biases = [m.gyro_bias_nominal for m in PHONE_MODEL_CATALOG.values()]
+        assert len(set(biases)) == len(biases)
+
+    def test_gravity_constant(self):
+        assert GRAVITY == pytest.approx(9.80665)

@@ -1,0 +1,86 @@
+"""Fingerprint-capture tests: structure, validation, chip consistency."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FingerprintError
+from repro.features.extractor import capture_features
+from repro.sensors.device import PHONE_MODEL_CATALOG, MEMSDevice
+from repro.sensors.fingerprint import FingerprintCapture, capture_fingerprint
+from repro.sensors.streams import StationaryCaptureConfig
+
+
+@pytest.fixture
+def device(rng):
+    return MEMSDevice.manufacture("dev", PHONE_MODEL_CATALOG["iPhone 7"], rng)
+
+
+class TestCaptureStructure:
+    def test_capture_has_four_streams(self, device, rng):
+        capture = capture_fingerprint("acct", device, rng)
+        assert set(capture.streams) == {
+            "accel_magnitude", "gyro_x", "gyro_y", "gyro_z",
+        }
+
+    def test_stream_lengths_match_config(self, device, rng):
+        config = StationaryCaptureConfig(duration=2.0, sample_rate=25.0)
+        capture = capture_fingerprint("acct", device, rng, config)
+        assert capture.samples == 50
+        assert capture.sample_rate == 25.0
+
+    def test_accel_magnitude_is_nonnegative(self, device, rng):
+        capture = capture_fingerprint("acct", device, rng)
+        assert (capture.streams["accel_magnitude"] >= 0).all()
+
+    def test_records_true_device_id(self, device, rng):
+        capture = capture_fingerprint("acct", device, rng)
+        assert capture.device_id == "dev"
+        assert capture.account_id == "acct"
+
+
+class TestValidation:
+    def _streams(self, n=10):
+        return {
+            "accel_magnitude": np.ones(n),
+            "gyro_x": np.zeros(n),
+            "gyro_y": np.zeros(n),
+            "gyro_z": np.zeros(n),
+        }
+
+    def test_missing_stream_rejected(self):
+        streams = self._streams()
+        del streams["gyro_x"]
+        with pytest.raises(FingerprintError, match="gyro_x"):
+            FingerprintCapture("a", streams, 50.0)
+
+    def test_unequal_lengths_rejected(self):
+        streams = self._streams()
+        streams["gyro_z"] = np.zeros(5)
+        with pytest.raises(FingerprintError, match="unequal"):
+            FingerprintCapture("a", streams, 50.0)
+
+    def test_single_sample_stream_rejected(self):
+        with pytest.raises(FingerprintError):
+            FingerprintCapture("a", self._streams(n=1), 50.0)
+
+
+class TestChipConsistency:
+    """The property AG-FP depends on: same chip -> similar features."""
+
+    def test_same_device_features_closer_than_cross_model(self, rng):
+        device_a = MEMSDevice.manufacture(
+            "a", PHONE_MODEL_CATALOG["iPhone 7"], rng
+        )
+        device_b = MEMSDevice.manufacture(
+            "b", PHONE_MODEL_CATALOG["Nexus 5"], rng
+        )
+        same_1 = capture_features(capture_fingerprint("x", device_a, rng).streams)
+        same_2 = capture_features(capture_fingerprint("y", device_a, rng).streams)
+        other = capture_features(capture_fingerprint("z", device_b, rng).streams)
+        # Compare on the gyro means (indices of the bias-carrying dims).
+        from repro.features.extractor import FEATURE_NAMES
+
+        idx = [FEATURE_NAMES.index(f"gyro_{axis}.mean") for axis in "xyz"]
+        gap_same = np.linalg.norm(same_1[idx] - same_2[idx])
+        gap_cross = np.linalg.norm(same_1[idx] - other[idx])
+        assert gap_same < gap_cross

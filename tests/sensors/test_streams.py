@@ -1,0 +1,86 @@
+"""Stationary-capture synthesis tests: pose, tremor, gravity physics."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.device import GRAVITY
+from repro.sensors.streams import (
+    StationaryCaptureConfig,
+    _random_orientation,
+    synthesize_stationary_motion,
+)
+
+
+class TestConfig:
+    def test_defaults_match_paper_protocol(self):
+        config = StationaryCaptureConfig()
+        assert config.duration == 6.0  # "hold ... for 6 seconds"
+        assert config.samples == 300
+
+    def test_duration_validation(self):
+        with pytest.raises(ValueError, match="duration"):
+            StationaryCaptureConfig(duration=0.0)
+
+    def test_sample_rate_validation(self):
+        with pytest.raises(ValueError, match="sample_rate"):
+            StationaryCaptureConfig(sample_rate=-1.0)
+
+    def test_minimum_two_samples(self):
+        config = StationaryCaptureConfig(duration=0.001, sample_rate=1.0)
+        assert config.samples == 2
+
+
+class TestOrientation:
+    def test_rotation_matrix_orthonormal(self, rng):
+        for _ in range(10):
+            rotation = _random_orientation(rng)
+            assert np.allclose(rotation @ rotation.T, np.eye(3), atol=1e-9)
+            assert np.linalg.det(rotation) == pytest.approx(1.0)
+
+    def test_gravity_lands_near_device_z(self, rng):
+        # Screen-up hand pose: the rotated gravity should be mostly along
+        # one axis (the wobble is ~12 degrees).
+        angles = []
+        for _ in range(200):
+            rotation = _random_orientation(rng)
+            gravity = rotation @ np.array([0.0, 0.0, 1.0])
+            angles.append(np.degrees(np.arccos(np.clip(abs(gravity[2]), 0, 1))))
+        assert np.median(angles) < 20.0
+
+    def test_yaw_varies(self, rng):
+        # Different captures face different directions.
+        rotations = [_random_orientation(rng) for _ in range(5)]
+        assert not all(np.allclose(rotations[0], r) for r in rotations[1:])
+
+
+class TestMotion:
+    def test_shapes(self, rng):
+        config = StationaryCaptureConfig()
+        accel, gyro = synthesize_stationary_motion(config, rng)
+        assert accel.shape == (3, config.samples)
+        assert gyro.shape == (3, config.samples)
+
+    def test_acceleration_magnitude_near_gravity(self, rng):
+        accel, _ = synthesize_stationary_motion(StationaryCaptureConfig(), rng)
+        magnitude = np.sqrt((accel**2).sum(axis=0))
+        assert magnitude.mean() == pytest.approx(GRAVITY, abs=0.2)
+
+    def test_gyro_is_small_rotation(self, rng):
+        _, gyro = synthesize_stationary_motion(StationaryCaptureConfig(), rng)
+        assert np.abs(gyro).max() < 0.05  # rad/s — a hand tremor, not a spin
+
+    def test_tremor_near_configured_frequency(self, rng):
+        config = StationaryCaptureConfig(duration=20.0)
+        accel, _ = synthesize_stationary_motion(config, rng)
+        # Remove gravity (the per-axis mean) and find the dominant line.
+        detrended = accel - accel.mean(axis=1, keepdims=True)
+        spectrum = np.abs(np.fft.rfft(detrended[0]))
+        freqs = np.fft.rfftfreq(detrended.shape[1], d=1 / config.sample_rate)
+        dominant = freqs[np.argmax(spectrum[1:]) + 1]
+        assert dominant == pytest.approx(config.tremor_frequency, rel=0.25)
+
+    def test_two_captures_differ(self, rng):
+        config = StationaryCaptureConfig()
+        one, _ = synthesize_stationary_motion(config, rng)
+        two, _ = synthesize_stationary_motion(config, rng)
+        assert not np.allclose(one, two)

@@ -1,0 +1,147 @@
+"""Sybil-attacker behaviour tests: Attack-I/II, fabrication, timing."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.device import PHONE_MODEL_CATALOG, MEMSDevice
+from repro.simulation.attackers import (
+    AttackerConfig,
+    AttackType,
+    ConstantFabrication,
+    OffsetFabrication,
+    ReplayFabrication,
+    SybilAttacker,
+)
+from repro.simulation.world import make_wifi_world
+
+
+@pytest.fixture
+def world(rng):
+    return make_wifi_world(10, rng)
+
+
+def _attacker(rng, n_devices=1, **config_kwargs):
+    config = AttackerConfig(**config_kwargs)
+    devices = tuple(
+        MEMSDevice.manufacture(f"d{i}", PHONE_MODEL_CATALOG["Nexus 5"], rng)
+        for i in range(n_devices)
+    )
+    accounts = tuple(f"s1a{i + 1}" for i in range(config.n_accounts))
+    return SybilAttacker("sybil-1", accounts, devices, config)
+
+
+class TestFabricationStrategies:
+    def test_constant_ignores_truth(self, rng):
+        strategy = ConstantFabrication(target=-50.0)
+        assert strategy.value(-90.0, -89.0, 0, rng) == -50.0
+
+    def test_constant_jitter_perturbs_copies(self, rng):
+        strategy = ConstantFabrication(target=-50.0, per_copy_jitter=1.0)
+        values = {strategy.value(-90.0, -89.0, i, rng) for i in range(5)}
+        assert len(values) == 5
+
+    def test_offset_tracks_truth(self, rng):
+        strategy = OffsetFabrication(offset=20.0)
+        assert strategy.value(-90.0, -89.0, 0, rng) == -70.0
+
+    def test_replay_copies_honest_measurement(self, rng):
+        strategy = ReplayFabrication(per_copy_jitter=0.0)
+        assert strategy.value(-90.0, -87.3, 2, rng) == -87.3
+
+
+class TestAttackerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_accounts"):
+            AttackerConfig(n_accounts=0)
+        with pytest.raises(ValueError, match="activeness"):
+            AttackerConfig(activeness=0.0)
+        with pytest.raises(ValueError, match="switch_delay_range"):
+            AttackerConfig(switch_delay_range=(50.0, 10.0))
+
+    def test_task_count(self):
+        assert AttackerConfig(activeness=0.6).task_count(10) == 6
+
+
+class TestSybilAttacker:
+    def test_attack_type_from_device_count(self, rng):
+        assert _attacker(rng, n_devices=1).attack_type is AttackType.SINGLE_DEVICE
+        assert _attacker(rng, n_devices=2).attack_type is AttackType.MULTI_DEVICE
+
+    def test_account_count_must_match_config(self, rng):
+        config = AttackerConfig(n_accounts=5)
+        device = MEMSDevice.manufacture("d", PHONE_MODEL_CATALOG["Nexus 5"], rng)
+        with pytest.raises(ValueError, match="accounts"):
+            SybilAttacker("s", ("a", "b"), (device,), config)
+
+    def test_needs_a_device(self, rng):
+        config = AttackerConfig(n_accounts=1)
+        with pytest.raises(ValueError, match="device"):
+            SybilAttacker("s", ("a",), (), config)
+
+    def test_round_robin_device_assignment(self, rng):
+        attacker = _attacker(rng, n_devices=2)
+        ids = [attacker.device_for_account(i).device_id for i in range(5)]
+        assert ids == ["d0", "d1", "d0", "d1", "d0"]
+
+
+class TestPerform:
+    def test_every_account_covers_every_attacked_task(self, world, rng):
+        attacker = _attacker(rng, activeness=0.5)
+        observations, _ = attacker.perform(world, 0.0, rng)
+        per_account = {}
+        for obs in observations:
+            per_account.setdefault(obs.account_id, set()).add(obs.task_id)
+        task_sets = list(per_account.values())
+        assert len(task_sets) == 5
+        assert all(ts == task_sets[0] for ts in task_sets)
+        assert len(task_sets[0]) == 5
+
+    def test_constant_fabrication_submitted(self, world, rng):
+        attacker = _attacker(
+            rng, fabrication=ConstantFabrication(target=-50.0)
+        )
+        observations, _ = attacker.perform(world, 0.0, rng)
+        assert {obs.value for obs in observations} == {-50.0}
+
+    def test_switch_delays_order_accounts_in_time(self, world, rng):
+        attacker = _attacker(rng)
+        observations, _ = attacker.perform(world, 0.0, rng)
+        by_task = {}
+        for obs in observations:
+            by_task.setdefault(obs.task_id, []).append(obs)
+        low, high = attacker.config.switch_delay_range
+        for task_obs in by_task.values():
+            task_obs.sort(key=lambda o: o.timestamp)
+            assert [o.account_id for o in task_obs] == list(attacker.account_ids)
+            for earlier, later in zip(task_obs, task_obs[1:]):
+                gap = later.timestamp - earlier.timestamp
+                assert low <= gap <= high
+
+    def test_per_account_submissions_follow_route_order(self, world, rng):
+        # One person operates the accounts sequentially: each account's
+        # own submission sequence must match the walking route even when
+        # accumulated switch delays overlap the walk to the next POI.
+        attacker = _attacker(rng, activeness=1.0, switch_delay_range=(200.0, 400.0))
+        observations, trace = attacker.perform(world, 0.0, rng)
+        for account in attacker.account_ids:
+            own = sorted(
+                (obs for obs in observations if obs.account_id == account),
+                key=lambda o: o.timestamp,
+            )
+            assert tuple(o.task_id for o in own) == trace.task_order
+
+    def test_replay_attack_near_truth(self, world, rng):
+        attacker = _attacker(
+            rng,
+            fabrication=ReplayFabrication(per_copy_jitter=0.1),
+            measurement_noise=0.5,
+        )
+        observations, _ = attacker.perform(world, 0.0, rng)
+        for obs in observations:
+            assert obs.value == pytest.approx(world.truth(obs.task_id), abs=3.0)
+
+    def test_explicit_task_override(self, world, rng):
+        attacker = _attacker(rng)
+        forced = list(world.tasks[:2])
+        observations, _ = attacker.perform(world, 0.0, rng, tasks=forced)
+        assert {obs.task_id for obs in observations} == {"T1", "T2"}

@@ -1,0 +1,106 @@
+"""Mobility-model tests: random waypoint vs. nearest-neighbour routing."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Task
+from repro.simulation.mobility import (
+    ROUTE_STRATEGIES,
+    random_waypoint_route,
+    route_for_strategy,
+    route_length,
+)
+from repro.simulation.users import UserConfig
+
+
+def _tasks():
+    return [
+        Task("A", location=(0.0, 0.0)),
+        Task("B", location=(10.0, 0.0)),
+        Task("C", location=(100.0, 0.0)),
+        Task("D", location=(50.0, 40.0)),
+    ]
+
+
+class TestRandomWaypoint:
+    def test_is_a_permutation(self, rng):
+        route = random_waypoint_route(_tasks(), rng)
+        assert sorted(t.task_id for t in route) == ["A", "B", "C", "D"]
+
+    def test_orders_vary_across_draws(self, rng):
+        orders = {
+            tuple(t.task_id for t in random_waypoint_route(_tasks(), rng))
+            for _ in range(20)
+        }
+        assert len(orders) > 1
+
+    def test_empty_route(self, rng):
+        assert random_waypoint_route([], rng) == []
+
+
+class TestDispatch:
+    def test_nearest_matches_plan_route(self, rng):
+        from repro.simulation.trajectories import plan_route
+
+        tasks = _tasks()
+        start = (-1.0, 0.0)
+        assert route_for_strategy("nearest", tasks, start, rng) == plan_route(
+            tasks, start
+        )
+
+    def test_random_waypoint_dispatch(self, rng):
+        route = route_for_strategy("random_waypoint", _tasks(), (0.0, 0.0), rng)
+        assert len(route) == 4
+
+    def test_unknown_strategy_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown route strategy"):
+            route_for_strategy("teleport", _tasks(), (0.0, 0.0), rng)
+
+    def test_unlocated_task_rejected(self, rng):
+        with pytest.raises(ValueError, match="no location"):
+            route_for_strategy("random_waypoint", [Task("X")], (0.0, 0.0), rng)
+
+    def test_registry(self):
+        assert ROUTE_STRATEGIES == ("nearest", "random_waypoint")
+
+
+class TestRouteLength:
+    def test_known_length(self):
+        tasks = [Task("A", location=(3.0, 4.0)), Task("B", location=(3.0, 0.0))]
+        assert route_length(tasks, (0.0, 0.0)) == pytest.approx(9.0)
+
+    def test_nearest_never_longer_on_average(self, rng):
+        # Nearest-neighbour routing should beat a random order on average
+        # (that is the point of the heuristic).
+        tasks = _tasks()
+        start = (0.0, 0.0)
+        nearest = route_length(
+            route_for_strategy("nearest", tasks, start, rng), start
+        )
+        random_lengths = [
+            route_length(random_waypoint_route(tasks, rng), start)
+            for _ in range(50)
+        ]
+        assert nearest <= np.mean(random_lengths) + 1e-9
+
+
+class TestUserIntegration:
+    def test_config_validates_strategy(self):
+        with pytest.raises(ValueError, match="route_strategy"):
+            UserConfig(route_strategy="flying")
+
+    def test_random_waypoint_user_produces_valid_trace(self, rng):
+        from repro.sensors.device import PHONE_MODEL_CATALOG, MEMSDevice
+        from repro.simulation.users import LegitimateUser
+        from repro.simulation.world import make_wifi_world
+
+        world = make_wifi_world(8, rng)
+        device = MEMSDevice.manufacture("d", PHONE_MODEL_CATALOG["LG G5"], rng)
+        user = LegitimateUser(
+            "u", "acct", device,
+            UserConfig(activeness=0.5, route_strategy="random_waypoint"),
+        )
+        observations, trace = user.perform(world, 0.0, rng)
+        times = [obs.timestamp for obs in observations]
+        assert times == sorted(times)
+        assert len(observations) == 4

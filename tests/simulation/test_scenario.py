@@ -1,0 +1,132 @@
+"""Scenario-builder tests: the paper's Section V-A population."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.scenario import (
+    PaperScenarioConfig,
+    ScenarioConfig,
+    build_scenario,
+)
+
+
+class TestConfigs:
+    def test_scenario_config_validation(self):
+        with pytest.raises(ValueError, match="n_tasks"):
+            ScenarioConfig(n_tasks=0)
+        with pytest.raises(ValueError, match="start_window"):
+            ScenarioConfig(start_window=-1.0)
+
+    def test_paper_defaults(self):
+        config = PaperScenarioConfig()
+        assert config.n_tasks == 10
+        assert config.n_legit == 8
+        assert config.accounts_per_attacker == 5
+
+    def test_to_scenario_config_attack_types(self, rng):
+        materialized = PaperScenarioConfig().to_scenario_config(rng)
+        device_counts = [n for _, n in materialized.attackers]
+        # First attacker Attack-I (1 device), second Attack-II (2 devices).
+        assert device_counts == [1, 2]
+
+
+class TestPopulation:
+    def test_account_population(self, paper_scenario):
+        # 8 legitimate + 2x5 Sybil accounts.
+        assert len(paper_scenario.dataset.accounts) == 18
+        assert len(paper_scenario.sybil_accounts) == 10
+
+    def test_fingerprint_per_account(self, paper_scenario):
+        captured = {c.account_id for c in paper_scenario.fingerprints}
+        assert captured == set(paper_scenario.dataset.accounts)
+
+    def test_user_partition_structure(self, paper_scenario):
+        sizes = sorted(len(g) for g in paper_scenario.user_partition.groups)
+        assert sizes == [1] * 8 + [5, 5]
+
+    def test_attack1_attacker_single_device(self, paper_scenario):
+        devices = {
+            paper_scenario.device_by_account[a]
+            for a in paper_scenario.sybil_accounts
+            if a.startswith("s1")
+        }
+        assert devices == {"iphone-6s-1"}
+
+    def test_attack2_attacker_two_devices(self, paper_scenario):
+        devices = {
+            paper_scenario.device_by_account[a]
+            for a in paper_scenario.sybil_accounts
+            if a.startswith("s2")
+        }
+        assert devices == {"iphone-se-1", "nexus-6p-1"}
+
+    def test_legit_users_get_distinct_devices(self, paper_scenario):
+        legit_devices = [
+            paper_scenario.device_by_account[a]
+            for a in paper_scenario.dataset.accounts
+            if a not in paper_scenario.sybil_accounts
+        ]
+        assert len(set(legit_devices)) == 8
+
+    def test_device_partition_consistent_with_assignment(self, paper_scenario):
+        for account, device_id in paper_scenario.device_by_account.items():
+            group = paper_scenario.device_partition.group_of(account)
+            same_device = {
+                other
+                for other, dev in paper_scenario.device_by_account.items()
+                if dev == device_id
+            }
+            assert group == same_device
+
+
+class TestActiveness:
+    @pytest.mark.parametrize("legit,expected", [(0.2, 2), (0.5, 5), (1.0, 10)])
+    def test_legit_activeness_realized(self, legit, expected, rng):
+        scenario = build_scenario(
+            PaperScenarioConfig(legit_activeness=legit), rng
+        )
+        for account in scenario.dataset.accounts:
+            if account in scenario.sybil_accounts:
+                continue
+            assert len(scenario.dataset.task_set(account)) == expected
+
+    def test_sybil_activeness_realized(self, rng):
+        scenario = build_scenario(
+            PaperScenarioConfig(sybil_activeness=0.6), rng
+        )
+        for account in scenario.sybil_accounts:
+            assert len(scenario.dataset.task_set(account)) == 6
+
+
+class TestDeterminismAndDerived:
+    def test_same_seed_same_scenario(self):
+        a = build_scenario(PaperScenarioConfig(), np.random.default_rng(99))
+        b = build_scenario(PaperScenarioConfig(), np.random.default_rng(99))
+        matrix_a, accounts_a, _ = a.dataset.to_matrix()
+        matrix_b, accounts_b, _ = b.dataset.to_matrix()
+        assert accounts_a == accounts_b
+        assert np.array_equal(matrix_a, matrix_b, equal_nan=True)
+        assert a.ground_truths == b.ground_truths
+
+    def test_different_seeds_differ(self):
+        a = build_scenario(PaperScenarioConfig(), np.random.default_rng(1))
+        b = build_scenario(PaperScenarioConfig(), np.random.default_rng(2))
+        assert a.ground_truths != b.ground_truths
+
+    def test_clean_dataset_removes_all_sybil_data(self, paper_scenario):
+        clean = paper_scenario.clean_dataset()
+        assert set(clean.accounts).isdisjoint(paper_scenario.sybil_accounts)
+        assert len(clean.accounts) == 8
+
+    def test_traces_per_physical_user(self, paper_scenario):
+        assert len(paper_scenario.traces) == 10  # 8 legit + 2 attackers
+
+    def test_many_users_triggers_extra_manufacturing(self, rng):
+        from repro.simulation.users import UserConfig
+
+        config = ScenarioConfig(
+            legit_users=tuple(UserConfig() for _ in range(15)),
+        )
+        scenario = build_scenario(config, rng)
+        assert len(scenario.dataset.accounts) == 15 + 10
+        assert len(set(scenario.device_by_account.values())) == 15 + 3

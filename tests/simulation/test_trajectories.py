@@ -1,0 +1,81 @@
+"""Route-planning and walk-timing tests."""
+
+import pytest
+
+from repro.core.types import Task
+from repro.simulation.trajectories import WalkingTrace, plan_route, walk_route
+
+
+def _grid_tasks():
+    return [
+        Task("A", location=(0.0, 0.0)),
+        Task("B", location=(10.0, 0.0)),
+        Task("C", location=(100.0, 0.0)),
+    ]
+
+
+class TestPlanRoute:
+    def test_nearest_neighbour_order(self):
+        route = plan_route(_grid_tasks(), start_position=(-1.0, 0.0))
+        assert [t.task_id for t in route] == ["A", "B", "C"]
+
+    def test_start_near_far_end_reverses(self):
+        route = plan_route(_grid_tasks(), start_position=(101.0, 0.0))
+        assert [t.task_id for t in route] == ["C", "B", "A"]
+
+    def test_tie_breaks_on_task_id(self):
+        tasks = [Task("Z", location=(1.0, 0.0)), Task("A", location=(-1.0, 0.0))]
+        route = plan_route(tasks, start_position=(0.0, 0.0))
+        assert route[0].task_id == "A"
+
+    def test_unlocated_task_rejected(self):
+        with pytest.raises(ValueError, match="no location"):
+            plan_route([Task("X")], (0.0, 0.0))
+
+    def test_empty_route(self):
+        assert plan_route([], (0.0, 0.0)) == []
+
+
+class TestWalkRoute:
+    def test_timing_arithmetic(self, rng):
+        tasks = [Task("A", location=(14.0, 0.0))]
+        trace = walk_route(
+            tasks,
+            start_position=(0.0, 0.0),
+            start_time=100.0,
+            walking_speed=1.4,
+            sensing_duration=30.0,
+            rng=rng,
+            dwell_jitter=0.0,
+        )
+        assert trace.arrival_times[0] == pytest.approx(110.0)
+        assert trace.completion_times[0] == pytest.approx(140.0)
+
+    def test_completion_times_strictly_increase(self, rng):
+        trace = walk_route(
+            _grid_tasks(), (0.0, 0.0), 0.0, 1.4, 30.0, rng
+        )
+        times = list(trace.completion_times)
+        assert times == sorted(times)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_duration_property(self, rng):
+        trace = walk_route(_grid_tasks(), (0.0, 0.0), 0.0, 1.4, 30.0, rng)
+        assert trace.duration == trace.completion_times[-1]
+        assert WalkingTrace((), (), (), (0.0, 0.0)).duration == 0.0
+
+    def test_speed_validation(self, rng):
+        with pytest.raises(ValueError, match="walking_speed"):
+            walk_route(_grid_tasks(), (0.0, 0.0), 0.0, 0.0, 30.0, rng)
+
+    def test_sensing_duration_validation(self, rng):
+        with pytest.raises(ValueError, match="sensing_duration"):
+            walk_route(_grid_tasks(), (0.0, 0.0), 0.0, 1.0, -5.0, rng)
+
+    def test_trace_field_length_validation(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            WalkingTrace(("A",), (), (), (0.0, 0.0))
+
+    def test_completion_before_arrival_rejected(self):
+        with pytest.raises(ValueError, match="precede"):
+            WalkingTrace(("A",), (10.0,), (5.0,), (0.0, 0.0))

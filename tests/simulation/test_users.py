@@ -1,0 +1,91 @@
+"""Legitimate-user behaviour tests."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.device import PHONE_MODEL_CATALOG, MEMSDevice
+from repro.simulation.users import LegitimateUser, UserConfig
+from repro.simulation.world import make_wifi_world
+
+
+@pytest.fixture
+def world(rng):
+    return make_wifi_world(10, rng)
+
+
+def _user(config, rng):
+    device = MEMSDevice.manufacture("d", PHONE_MODEL_CATALOG["iPhone 6"], rng)
+    return LegitimateUser("legit-1", "u1", device, config)
+
+
+class TestUserConfig:
+    def test_activeness_validation(self):
+        with pytest.raises(ValueError, match="activeness"):
+            UserConfig(activeness=0.0)
+        with pytest.raises(ValueError, match="activeness"):
+            UserConfig(activeness=1.5)
+
+    def test_noise_validation(self):
+        with pytest.raises(ValueError, match="noise_std"):
+            UserConfig(noise_std=-1.0)
+
+    def test_min_tasks_validation(self):
+        with pytest.raises(ValueError, match="min_tasks"):
+            UserConfig(min_tasks=0)
+
+    @pytest.mark.parametrize(
+        "activeness,expected", [(0.2, 2), (0.5, 5), (1.0, 10)]
+    )
+    def test_task_count_eq9(self, activeness, expected):
+        assert UserConfig(activeness=activeness).task_count(10) == expected
+
+    def test_task_count_floor_of_two(self):
+        # The paper: "each account has to perform at least two tasks".
+        assert UserConfig(activeness=0.01).task_count(10) == 2
+
+    def test_task_count_capped_at_m(self):
+        assert UserConfig(activeness=1.0).task_count(3) == 3
+
+
+class TestBehaviour:
+    def test_choose_tasks_count(self, world, rng):
+        user = _user(UserConfig(activeness=0.5), rng)
+        assert len(user.choose_tasks(world, rng)) == 5
+
+    def test_different_users_choose_differently(self, world, rng):
+        user = _user(UserConfig(activeness=0.5), rng)
+        choices = {
+            frozenset(t.task_id for t in user.choose_tasks(world, rng))
+            for _ in range(10)
+        }
+        assert len(choices) > 1
+
+    def test_observations_are_honest(self, world, rng):
+        user = _user(UserConfig(activeness=1.0, noise_std=0.5, bias=0.0), rng)
+        observations, _ = user.perform(world, start_time=0.0, rng=rng)
+        for obs in observations:
+            assert obs.value == pytest.approx(world.truth(obs.task_id), abs=3.0)
+
+    def test_bias_shifts_observations(self, world, rng):
+        user = _user(UserConfig(activeness=1.0, noise_std=0.01, bias=5.0), rng)
+        observations, _ = user.perform(world, 0.0, rng)
+        residuals = [obs.value - world.truth(obs.task_id) for obs in observations]
+        assert np.mean(residuals) == pytest.approx(5.0, abs=0.1)
+
+    def test_one_observation_per_chosen_task(self, world, rng):
+        user = _user(UserConfig(activeness=0.5), rng)
+        observations, _ = user.perform(world, 0.0, rng)
+        tasks = [obs.task_id for obs in observations]
+        assert len(tasks) == len(set(tasks)) == 5
+
+    def test_timestamps_follow_trace(self, world, rng):
+        user = _user(UserConfig(activeness=0.5), rng)
+        observations, trace = user.perform(world, 50.0, rng)
+        assert tuple(obs.timestamp for obs in observations) == trace.completion_times
+        assert all(obs.timestamp >= 50.0 for obs in observations)
+
+    def test_explicit_task_override(self, world, rng):
+        user = _user(UserConfig(activeness=0.2), rng)
+        forced = list(world.tasks[:3])
+        observations, _ = user.perform(world, 0.0, rng, tasks=forced)
+        assert {obs.task_id for obs in observations} == {"T1", "T2", "T3"}

@@ -1,0 +1,66 @@
+"""World-generation tests: POIs, separation, ground truths."""
+
+import pytest
+
+from repro.core.types import Task
+from repro.simulation.world import RSS_RANGE_DBM, World, make_wifi_world
+
+
+class TestMakeWifiWorld:
+    def test_task_count(self, rng):
+        world = make_wifi_world(10, rng)
+        assert len(world.tasks) == 10
+        assert world.task_ids == tuple(f"T{j}" for j in range(1, 11))
+
+    def test_truths_in_rss_range(self, rng):
+        world = make_wifi_world(25, rng)
+        low, high = RSS_RANGE_DBM
+        for truth in world.ground_truths.values():
+            assert low <= truth <= high
+
+    def test_all_tasks_located_in_area(self, rng):
+        world = make_wifi_world(15, rng, area_size=200.0)
+        for task in world.tasks:
+            x, y = task.location
+            assert 0 <= x <= 200 and 0 <= y <= 200
+
+    def test_min_separation_respected_when_feasible(self, rng):
+        world = make_wifi_world(5, rng, area_size=1000.0, min_separation=50.0)
+        tasks = world.tasks
+        for i in range(len(tasks)):
+            for j in range(i + 1, len(tasks)):
+                assert tasks[i].distance_to(tasks[j]) >= 50.0
+
+    def test_infeasible_separation_relaxed_not_hung(self, rng):
+        # 50 POIs at 10km separation in a 100m box is impossible; the
+        # generator must relax instead of looping forever.
+        world = make_wifi_world(50, rng, area_size=100.0, min_separation=10_000.0)
+        assert len(world.tasks) == 50
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="n_tasks"):
+            make_wifi_world(0, rng)
+        with pytest.raises(ValueError, match="area_size"):
+            make_wifi_world(1, rng, area_size=0.0)
+        with pytest.raises(ValueError, match="rss_range"):
+            make_wifi_world(1, rng, rss_range=(-60.0, -90.0))
+
+    def test_custom_rss_range(self, rng):
+        world = make_wifi_world(10, rng, rss_range=(-10.0, 0.0))
+        assert all(-10 <= t <= 0 for t in world.ground_truths.values())
+
+
+class TestWorld:
+    def test_truth_lookup(self, rng):
+        world = make_wifi_world(3, rng)
+        assert world.truth("T2") == world.ground_truths["T2"]
+
+    def test_task_lookup(self, rng):
+        world = make_wifi_world(3, rng)
+        assert world.task("T1").task_id == "T1"
+        with pytest.raises(KeyError):
+            world.task("T99")
+
+    def test_missing_ground_truth_rejected(self):
+        with pytest.raises(ValueError, match="without ground truth"):
+            World(tasks=(Task("T1"),), ground_truths={})

@@ -1,0 +1,41 @@
+"""Smoke tests: every shipped example runs cleanly and says what it promises."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+_EXPECTATIONS = {
+    "quickstart.py": ["CRH estimates", "Sybil-resistant estimates"],
+    "wifi_mapping_campaign.py": ["TD-TR", "MAE"],
+    "noise_monitoring.py": ["suspicious group", "recall"],
+    "attack_study.py": ["damage removed", "Takeaway"],
+    "streaming_monitor.py": ["Sybil attack, grouped", "g0"],
+    "platform_operations.py": ["banned", "Final reputations"],
+}
+
+
+def _run(name: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+@pytest.mark.parametrize("name", sorted(_EXPECTATIONS))
+def test_example_runs_and_reports(name):
+    output = _run(name)
+    for marker in _EXPECTATIONS[name]:
+        assert marker in output, f"{name} output missing {marker!r}"
+
+
+def test_every_example_file_is_covered():
+    shipped = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert shipped == set(_EXPECTATIONS)

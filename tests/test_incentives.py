@@ -1,0 +1,115 @@
+"""Payment-allocation tests: proportionality, budgets, Sybil profit."""
+
+import pytest
+
+from repro.core.crh import CRH
+from repro.core.framework import SybilResistantTruthDiscovery
+from repro.core.dataset import SensingDataset
+from repro.core.truth_discovery import TruthDiscoveryResult
+from repro.core.types import Grouping
+from repro.errors import DataValidationError
+from repro.experiments.paperdata import SYBIL_ACCOUNTS, paper_example_dataset
+from repro.incentives.payments import (
+    group_level_payments,
+    proportional_payments,
+    sybil_profit,
+)
+
+
+def _result(weights):
+    return TruthDiscoveryResult(
+        truths={}, weights=weights, iterations=1, converged=True
+    )
+
+
+class TestProportionalPayments:
+    def test_weights_split_budget(self):
+        ds = SensingDataset.from_matrix([[1.0], [1.0]], account_ids=["a", "b"])
+        report = proportional_payments(ds, _result({"a": 3.0, "b": 1.0}), 4.0)
+        assert report.payment("a") == pytest.approx(3.0)
+        assert report.payment("b") == pytest.approx(1.0)
+        assert report.total_paid == pytest.approx(4.0)
+
+    def test_budget_conserved_per_answered_task(self):
+        ds = SensingDataset.from_matrix(
+            [[1.0, 2.0], [1.5, float("nan")]], account_ids=["a", "b"]
+        )
+        report = proportional_payments(ds, _result({"a": 1.0, "b": 1.0}), 1.0)
+        assert report.total_paid == pytest.approx(2.0)  # two answered tasks
+
+    def test_zero_weight_claimants_split_evenly(self):
+        ds = SensingDataset.from_matrix([[1.0], [2.0]], account_ids=["a", "b"])
+        report = proportional_payments(ds, _result({"a": 0.0, "b": 0.0}), 1.0)
+        assert report.payment("a") == pytest.approx(0.5)
+
+    def test_negative_weights_clamped(self):
+        ds = SensingDataset.from_matrix([[1.0], [2.0]], account_ids=["a", "b"])
+        report = proportional_payments(ds, _result({"a": -5.0, "b": 1.0}), 1.0)
+        assert report.payment("a") == 0.0
+        assert report.payment("b") == pytest.approx(1.0)
+
+    def test_budget_validation(self):
+        ds = SensingDataset.from_matrix([[1.0]])
+        with pytest.raises(DataValidationError, match="budget"):
+            proportional_payments(ds, _result({}), 0.0)
+
+
+class TestGroupLevelPayments:
+    def test_group_share_split_among_members(self):
+        ds = SensingDataset.from_matrix(
+            [[1.0], [1.0], [1.0]], account_ids=["s1", "s2", "h"]
+        )
+        grouping = Grouping.from_groups([["s1", "s2"], ["h"]])
+        result = SybilResistantTruthDiscovery().discover(ds, grouping=grouping)
+        report = group_level_payments(ds, result, 1.0)
+        # Whatever the weights, s1+s2 together earn one group share; each
+        # member gets half of it.
+        assert report.payment("s1") == pytest.approx(report.payment("s2"))
+        assert report.total_paid == pytest.approx(1.0)
+
+    def test_duplication_does_not_pay(self, paper_dataset):
+        grouping = Grouping.from_groups(
+            [["1"], ["2"], ["3"], list(SYBIL_ACCOUNTS)]
+        )
+        framework_result = SybilResistantTruthDiscovery().discover(
+            paper_dataset, grouping=grouping
+        )
+        crh_result = CRH().discover(paper_dataset)
+        naive = proportional_payments(paper_dataset, crh_result, 1.0)
+        grouped = group_level_payments(paper_dataset, framework_result, 1.0)
+        naive_profit = sybil_profit(naive, set(SYBIL_ACCOUNTS))
+        grouped_profit = sybil_profit(grouped, set(SYBIL_ACCOUNTS))
+        assert grouped_profit < naive_profit
+
+    def test_total_budget_conserved(self, paper_dataset):
+        grouping = Grouping.from_groups(
+            [["1"], ["2"], ["3"], list(SYBIL_ACCOUNTS)]
+        )
+        result = SybilResistantTruthDiscovery().discover(
+            paper_dataset, grouping=grouping
+        )
+        report = group_level_payments(paper_dataset, result, 2.0)
+        # 4 answered tasks x budget 2.
+        assert report.total_paid == pytest.approx(8.0)
+
+
+class TestSybilProfit:
+    def test_sums_only_attacker_accounts(self):
+        ds = SensingDataset.from_matrix([[1.0], [1.0]], account_ids=["a", "s"])
+        report = proportional_payments(ds, _result({"a": 1.0, "s": 1.0}), 2.0)
+        assert sybil_profit(report, {"s"}) == pytest.approx(1.0)
+
+    def test_end_to_end_framework_cuts_profit(self, high_activity_scenario):
+        from repro.core.grouping import TrajectoryGrouper
+
+        scenario = high_activity_scenario
+        crh_report = proportional_payments(
+            scenario.dataset, CRH().discover(scenario.dataset), 1.0
+        )
+        framework = SybilResistantTruthDiscovery(TrajectoryGrouper())
+        framework_report = group_level_payments(
+            scenario.dataset, framework.discover(scenario.dataset), 1.0
+        )
+        naive = sybil_profit(crh_report, scenario.sybil_accounts)
+        defended = sybil_profit(framework_report, scenario.sybil_accounts)
+        assert defended < naive / 2

@@ -1,0 +1,108 @@
+"""Miscellaneous coverage: error hierarchy, numpy helpers, package surface."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro._nputil import (
+    nanmean_quiet,
+    nanmedian_quiet,
+    nanminmax_quiet,
+    nanstd_quiet,
+)
+from repro.errors import (
+    ConvergenceError,
+    DataValidationError,
+    FingerprintError,
+    PartitionError,
+    ReproError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [DataValidationError, PartitionError, ConvergenceError, FingerprintError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_value_errors_are_value_errors(self):
+        # Callers using except ValueError keep working.
+        assert issubclass(DataValidationError, ValueError)
+        assert issubclass(PartitionError, ValueError)
+        assert issubclass(FingerprintError, ValueError)
+
+    def test_convergence_is_runtime_error(self):
+        assert issubclass(ConvergenceError, RuntimeError)
+
+
+class TestNanHelpers:
+    def _all_nan_column(self):
+        return np.array([[1.0, np.nan], [3.0, np.nan]])
+
+    def test_no_warnings_on_empty_slices(self):
+        matrix = self._all_nan_column()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            assert nanmean_quiet(matrix, axis=0)[0] == 2.0
+            assert np.isnan(nanmean_quiet(matrix, axis=0)[1])
+            assert np.isnan(nanstd_quiet(matrix, axis=0)[1])
+            assert np.isnan(nanmedian_quiet(matrix, axis=0)[1])
+            lows, highs = nanminmax_quiet(matrix, axis=0)
+            assert np.isnan(lows[1]) and np.isnan(highs[1])
+
+    def test_values_match_numpy(self):
+        matrix = np.array([[1.0, 2.0], [3.0, 6.0]])
+        assert np.allclose(nanmean_quiet(matrix, axis=0), [2.0, 4.0])
+        assert np.allclose(nanmedian_quiet(matrix, axis=0), [2.0, 4.0])
+        lows, highs = nanminmax_quiet(matrix, axis=0)
+        assert np.allclose(lows, [1.0, 2.0])
+        assert np.allclose(highs, [3.0, 6.0])
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_all_names_resolve(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert hasattr(core, name), name
+
+    def test_simulation_all_names_resolve(self):
+        import repro.simulation as simulation
+
+        for name in simulation.__all__:
+            assert hasattr(simulation, name), name
+
+    def test_ml_all_names_resolve(self):
+        import repro.ml as ml
+
+        for name in ml.__all__:
+            assert hasattr(ml, name), name
+
+    def test_timeseries_all_names_resolve(self):
+        import repro.timeseries as timeseries
+
+        for name in timeseries.__all__:
+            assert hasattr(timeseries, name), name
+
+    def test_grouping_all_names_resolve(self):
+        import repro.core.grouping as grouping
+
+        for name in grouping.__all__:
+            assert hasattr(grouping, name), name
+
+    def test_metrics_all_names_resolve(self):
+        import repro.metrics as metrics
+
+        for name in metrics.__all__:
+            assert hasattr(metrics, name), name

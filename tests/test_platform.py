@@ -1,0 +1,136 @@
+"""Multi-campaign platform tests: reputation, strikes, bans."""
+
+import numpy as np
+import pytest
+
+from repro.core.grouping import TrajectoryGrouper
+from repro.errors import DataValidationError
+from repro.metrics.accuracy import mean_absolute_error
+from repro.platform import CrowdsensingPlatform
+from repro.simulation.scenario import PaperScenarioConfig, build_scenario
+
+
+def _scenario(seed):
+    return build_scenario(
+        PaperScenarioConfig(sybil_activeness=0.8), np.random.default_rng(seed)
+    )
+
+
+@pytest.fixture
+def platform():
+    return CrowdsensingPlatform(TrajectoryGrouper(), flag_threshold=2)
+
+
+class TestValidation:
+    def test_decay_bounds(self):
+        with pytest.raises(ValueError, match="reputation_decay"):
+            CrowdsensingPlatform(TrajectoryGrouper(), reputation_decay=1.0)
+
+    def test_flag_threshold_bounds(self):
+        with pytest.raises(ValueError, match="flag_threshold"):
+            CrowdsensingPlatform(TrajectoryGrouper(), flag_threshold=-1)
+
+    def test_empty_campaign_rejected(self, platform):
+        from repro.core.dataset import SensingDataset
+
+        with pytest.raises(DataValidationError, match="no usable data"):
+            platform.run_campaign(SensingDataset([], []))
+
+
+class TestSingleCampaign:
+    def test_outcome_fields(self, platform):
+        scenario = _scenario(1)
+        outcome = platform.run_campaign(scenario.dataset, scenario.fingerprints)
+        assert set(outcome.truths) <= set(scenario.dataset.tasks)
+        assert outcome.excluded == frozenset()
+        assert platform.campaigns_run == 1
+
+    def test_sybil_accounts_flagged(self, platform):
+        scenario = _scenario(1)
+        outcome = platform.run_campaign(scenario.dataset, scenario.fingerprints)
+        assert scenario.sybil_accounts <= outcome.flagged
+
+    def test_reputations_bounded_and_ranked(self, platform):
+        scenario = _scenario(1)
+        platform.run_campaign(scenario.dataset, scenario.fingerprints)
+        reputations = platform.reputations
+        assert all(0.0 <= rep <= 1.0 for rep in reputations.values())
+        honest = [
+            rep
+            for account, rep in reputations.items()
+            if account not in scenario.sybil_accounts
+        ]
+        sybil = [
+            rep
+            for account, rep in reputations.items()
+            if account in scenario.sybil_accounts
+        ]
+        assert np.mean(honest) > np.mean(sybil)
+
+    def test_no_ban_after_single_strike(self, platform):
+        scenario = _scenario(1)
+        outcome = platform.run_campaign(scenario.dataset, scenario.fingerprints)
+        assert outcome.newly_banned == frozenset()
+        assert platform.banned_accounts == frozenset()
+
+
+class TestMultiCampaign:
+    def test_second_strike_bans(self, platform):
+        first = _scenario(1)
+        second = _scenario(2)
+        platform.run_campaign(first.dataset, first.fingerprints)
+        outcome = platform.run_campaign(second.dataset, second.fingerprints)
+        # Accounts flagged in both campaigns cross the threshold.
+        twice_flagged = first.sybil_accounts & second.sybil_accounts
+        assert twice_flagged <= outcome.newly_banned
+
+    def test_banned_accounts_excluded_from_later_campaigns(self, platform):
+        for seed in (1, 2):
+            scenario = _scenario(seed)
+            platform.run_campaign(scenario.dataset, scenario.fingerprints)
+        third = _scenario(3)
+        outcome = platform.run_campaign(third.dataset, third.fingerprints)
+        assert outcome.excluded == frozenset(third.sybil_accounts)
+        # With the attackers' data excluded, estimates are clean.
+        mae = mean_absolute_error(outcome.truths, third.ground_truths)
+        assert mae < 2.0
+
+    def test_strike_counts_accumulate(self, platform):
+        for seed in (1, 2):
+            scenario = _scenario(seed)
+            platform.run_campaign(scenario.dataset, scenario.fingerprints)
+        strikes = platform.strike_counts
+        sybil = _scenario(1).sybil_accounts
+        assert all(strikes.get(account, 0) >= 2 for account in sybil)
+
+    def test_flag_threshold_zero_disables_banning(self):
+        platform = CrowdsensingPlatform(TrajectoryGrouper(), flag_threshold=0)
+        for seed in (1, 2, 3):
+            scenario = _scenario(seed)
+            platform.run_campaign(scenario.dataset, scenario.fingerprints)
+        assert platform.banned_accounts == frozenset()
+
+    def test_reputation_recovers_with_honest_behaviour(self):
+        # An account that behaves honestly after a noisy start climbs back.
+        platform = CrowdsensingPlatform(
+            TrajectoryGrouper(), reputation_decay=0.5, flag_threshold=0
+        )
+        for seed in (5, 6, 7):
+            scenario = _scenario(seed)
+            platform.run_campaign(scenario.dataset, scenario.fingerprints)
+        reputations = platform.reputations
+        honest = [
+            rep
+            for account, rep in reputations.items()
+            if account.startswith("u")
+        ]
+        assert np.mean(honest) > 0.3
+
+    def test_payments_never_flow_to_banned_accounts(self, platform):
+        for seed in (1, 2):
+            scenario = _scenario(seed)
+            platform.run_campaign(scenario.dataset, scenario.fingerprints)
+        third = _scenario(3)
+        outcome = platform.run_campaign(third.dataset, third.fingerprints)
+        for account in outcome.excluded:
+            assert outcome.payments.payment(account) == 0.0

@@ -1,0 +1,359 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.categorical import CategoricalClaims, CategoricalTruthDiscovery
+from repro.core.dataset import SensingDataset
+from repro.core.framework import aggregate_inverse_deviation
+from repro.core.streaming import StreamingTruthDiscovery
+from repro.core.types import Observation
+from repro.core.truth_discovery import IterativeTruthDiscovery, crh_log_weights
+from repro.core.types import Grouping
+from repro.features import temporal
+from repro.metrics.accuracy import mean_absolute_error, root_mean_squared_error
+from repro.ml.metrics import adjusted_rand_index, pair_confusion, rand_index
+from repro.timeseries.dtw import dtw_distance, warping_path
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+series = st.lists(finite_floats, min_size=1, max_size=12)
+
+labelings = st.integers(min_value=2, max_value=20).flatmap(
+    lambda n: st.tuples(
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),
+        st.lists(st.integers(0, 4), min_size=n, max_size=n),
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Grouping invariants
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(st.lists(st.integers(0, 50), min_size=0, max_size=6), max_size=8))
+def test_grouping_is_partition(raw_groups):
+    seen = set()
+    disjoint = []
+    for group in raw_groups:
+        cleaned = [account for account in group if account not in seen]
+        seen.update(cleaned)
+        disjoint.append([str(a) for a in cleaned])
+    grouping = Grouping.from_groups(disjoint)
+    # Disjoint cover: every account in exactly one group.
+    accounts = [a for g in grouping.groups for a in g]
+    assert len(accounts) == len(set(accounts))
+    assert set(accounts) == grouping.accounts
+    for account in grouping.accounts:
+        assert account in grouping.group_of(account)
+
+
+@given(st.sets(st.text(min_size=1, max_size=4), min_size=1, max_size=10))
+def test_singleton_grouping_roundtrip(accounts):
+    grouping = Grouping.singletons(accounts)
+    assert len(grouping) == len(accounts)
+    labels = grouping.as_labels(sorted(accounts))
+    assert len(set(labels)) == len(accounts)
+
+
+# ----------------------------------------------------------------------
+# Clustering metrics
+# ----------------------------------------------------------------------
+
+
+@given(labelings)
+def test_pair_confusion_counts_sum(pair):
+    a, b = pair
+    counts = pair_confusion(a, b)
+    n = len(a)
+    assert sum(counts) == n * (n - 1) // 2
+    assert all(count >= 0 for count in counts)
+
+
+@given(labelings)
+def test_ari_bounded_and_symmetric(pair):
+    a, b = pair
+    ari = adjusted_rand_index(a, b)
+    assert -1.0 - 1e-12 <= ari <= 1.0 + 1e-12
+    assert ari == pytest.approx(adjusted_rand_index(b, a))
+
+
+@given(st.lists(st.integers(0, 4), min_size=2, max_size=25))
+def test_ari_of_identical_labelings_is_one(labels):
+    assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+
+@given(labelings)
+def test_rand_index_in_unit_interval(pair):
+    a, b = pair
+    assert 0.0 <= rand_index(a, b) <= 1.0
+
+
+# ----------------------------------------------------------------------
+# DTW invariants
+# ----------------------------------------------------------------------
+
+
+@given(series, series)
+@settings(max_examples=60)
+def test_dtw_symmetric_nonnegative(a, b):
+    d_ab = dtw_distance(a, b)
+    assert d_ab >= 0.0
+    assert d_ab == pytest.approx(dtw_distance(b, a), rel=1e-9, abs=1e-9)
+
+
+@given(series)
+def test_dtw_identity(a):
+    assert dtw_distance(a, a) == pytest.approx(0.0, abs=1e-12)
+
+
+@given(series, series)
+@settings(max_examples=60)
+def test_dtw_path_is_valid_warping(a, b):
+    path, total = warping_path(a, b)
+    assert path[0] == (0, 0)
+    assert path[-1] == (len(a) - 1, len(b) - 1)
+    assert max(len(a), len(b)) <= len(path) <= len(a) + len(b) - 1
+    # The reported total equals the cost accumulated along the path.
+    arr_a, arr_b = np.asarray(a), np.asarray(b)
+    recomputed = sum((arr_a[i] - arr_b[j]) ** 2 for i, j in path)
+    assert total == pytest.approx(recomputed, rel=1e-9, abs=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Temporal features
+# ----------------------------------------------------------------------
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=50))
+def test_temporal_feature_relations(signal):
+    assert temporal.maximum(signal) >= temporal.minimum(signal)
+    assert temporal.root_mean_square(signal) >= abs(temporal.mean(signal)) - 1e-6
+    assert 0.0 <= temporal.zero_crossing_rate(signal) <= 1.0
+    assert 0 <= temporal.non_negative_count(signal) <= len(signal)
+
+
+@given(st.lists(finite_floats, min_size=2, max_size=50), finite_floats)
+def test_temporal_mean_shift_equivariance(signal, shift):
+    assume(abs(shift) < 1e5)
+    shifted = [x + shift for x in signal]
+    assert temporal.mean(shifted) == pytest.approx(
+        temporal.mean(signal) + shift, rel=1e-6, abs=1e-6
+    )
+    assert temporal.standard_deviation(shifted) == pytest.approx(
+        temporal.standard_deviation(signal), rel=1e-6, abs=1e-6
+    )
+
+
+# ----------------------------------------------------------------------
+# Truth discovery invariants
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.lists(st.floats(-100, 0), min_size=3, max_size=3),
+        min_size=2,
+        max_size=6,
+    )
+)
+@settings(max_examples=40)
+def test_truths_are_convex_combinations_of_claims(matrix):
+    dataset = SensingDataset.from_matrix(matrix)
+    result = IterativeTruthDiscovery().discover(dataset)
+    arr = np.asarray(matrix)
+    for j, tid in enumerate(sorted({f"T{k + 1}" for k in range(3)})):
+        column = arr[:, j]
+        assert column.min() - 1e-6 <= result.truths[tid] <= column.max() + 1e-6
+
+
+@given(st.lists(st.floats(0, 1e6), min_size=1, max_size=20))
+def test_crh_weights_nonincreasing_in_distance(distances):
+    weights = crh_log_weights(np.asarray(distances))
+    order = np.argsort(distances)
+    sorted_weights = weights[order]
+    assert all(
+        a >= b - 1e-9 for a, b in zip(sorted_weights, sorted_weights[1:])
+    )
+
+
+@given(st.lists(st.floats(-100, 100), min_size=1, max_size=15))
+def test_inverse_deviation_aggregate_within_range(values):
+    estimate = aggregate_inverse_deviation(np.asarray(values))
+    assert min(values) - 1e-9 <= estimate <= max(values) + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Accuracy metrics
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["T1", "T2", "T3", "T4"]),
+        st.floats(-100, 0),
+        min_size=1,
+    ),
+    st.floats(0, 50),
+)
+def test_mae_translation_bound(truths, offset):
+    estimates = {tid: value + offset for tid, value in truths.items()}
+    assert mean_absolute_error(estimates, truths) == pytest.approx(offset, abs=1e-9)
+    assert root_mean_squared_error(estimates, truths) == pytest.approx(
+        offset, abs=1e-9
+    )
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["T1", "T2", "T3"]), st.floats(-100, 0), min_size=1
+    )
+)
+def test_rmse_dominates_mae(estimates):
+    truths = {tid: -50.0 for tid in estimates}
+    mae = mean_absolute_error(estimates, truths)
+    rmse = root_mean_squared_error(estimates, truths)
+    assert rmse >= mae - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Streaming truth discovery
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.lists(finite_floats, min_size=1, max_size=4),
+        min_size=1,
+        max_size=6,
+    ),
+    st.floats(min_value=0.5, max_value=1.0),
+)
+@settings(max_examples=40)
+def test_streaming_truths_within_observed_range(batches, decay):
+    engine = StreamingTruthDiscovery(decay=decay)
+    seen = []
+    for batch_no, values in enumerate(batches):
+        observations = [
+            Observation(f"a{k}", "T1", value, float(batch_no))
+            for k, value in enumerate(values)
+        ]
+        seen.extend(values)
+        engine.observe(observations)
+    estimate = engine.truths["T1"]
+    assert min(seen) - 1e-6 <= estimate <= max(seen) + 1e-6
+
+
+@given(st.lists(finite_floats, min_size=1, max_size=10))
+def test_streaming_single_batch_matches_claims_hull(values):
+    engine = StreamingTruthDiscovery()
+    engine.observe(
+        [Observation(f"a{k}", "T1", v, 0.0) for k, v in enumerate(values)]
+    )
+    assert min(values) - 1e-6 <= engine.truths["T1"] <= max(values) + 1e-6
+
+
+# ----------------------------------------------------------------------
+# Categorical truth discovery
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 6),            # account index
+            st.integers(0, 3),            # task index
+            st.sampled_from(["A", "B", "C"]),
+        ),
+        min_size=1,
+        max_size=25,
+    )
+)
+@settings(max_examples=40)
+def test_categorical_truth_is_some_claimed_label(triples):
+    deduplicated = {}
+    for account, task, label in triples:
+        deduplicated[(f"a{account}", f"T{task}")] = label
+    claims = CategoricalClaims(
+        [(account, task, label) for (account, task), label in deduplicated.items()]
+    )
+    result = CategoricalTruthDiscovery().discover(claims)
+    for task in claims.tasks:
+        claimed = set(claims.claims_for_task(task).values())
+        assert result.truths[task] in claimed
+
+
+# ----------------------------------------------------------------------
+# DTW lower bounds
+# ----------------------------------------------------------------------
+
+
+@given(series, series)
+@settings(max_examples=60)
+def test_lb_kim_is_lower_bound(a, b):
+    from repro.timeseries.bounds import lb_kim
+
+    assert lb_kim(a, b) <= dtw_distance(a, b, normalized=False) + 1e-6
+
+
+@given(
+    st.integers(min_value=1, max_value=10).flatmap(
+        lambda n: st.tuples(
+            st.lists(finite_floats, min_size=n, max_size=n),
+            st.lists(finite_floats, min_size=n, max_size=n),
+            st.integers(min_value=0, max_value=3),
+        )
+    )
+)
+@settings(max_examples=60)
+def test_lb_keogh_is_lower_bound_for_banded_dtw(data):
+    from repro.timeseries.bounds import lb_keogh
+
+    a, b, window = data
+    bound = lb_keogh(a, b, window)
+    banded = dtw_distance(a, b, window=window, normalized=False)
+    assert bound <= banded + max(1e-6, 1e-9 * abs(banded))
+
+
+# ----------------------------------------------------------------------
+# Detection metrics
+# ----------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.booleans(), min_size=1, max_size=12),
+)
+def test_detection_report_counts_partition_population(flags):
+    from repro.core.types import Grouping
+    from repro.metrics.detection import detection_report
+
+    accounts = [f"a{k}" for k in range(len(flags))]
+    # Group all flagged accounts pairwise (chain), leave others single.
+    flagged = [a for a, f in zip(accounts, flags) if f]
+    groups = [[a] for a, f in zip(accounts, flags) if not f]
+    if len(flagged) >= 2:
+        groups.append(flagged)
+    else:
+        groups.extend([[a] for a in flagged])
+    grouping = Grouping.from_groups(groups)
+    sybil = set(accounts[::2])
+    report = detection_report(grouping, sybil)
+    total = (
+        report.true_positives
+        + report.false_positives
+        + report.false_negatives
+        + report.true_negatives
+    )
+    assert total == len(accounts)
+    assert 0.0 <= report.precision <= 1.0
+    assert 0.0 <= report.recall <= 1.0
+    assert 0.0 <= report.f1 <= 1.0
