@@ -1,15 +1,21 @@
 # Convenience targets for the repro library.
 
-.PHONY: install test bench examples experiments clean
+.PHONY: install test bench bench-snapshot examples experiments clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
+# Matches the tier-1 verify command; no editable install required.
 test:
-	pytest tests/
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	@python -c "import pytest_benchmark" 2>/dev/null \
+		&& PYTHONPATH=src python -m pytest benchmarks/ --benchmark-only \
+		|| echo "pytest-benchmark not installed; skipping bench (pip install pytest-benchmark)"
+
+bench-snapshot:
+	PYTHONPATH=src python benchmarks/bench_pipeline.py
 
 examples:
 	@for script in examples/*.py; do \

@@ -1,0 +1,115 @@
+"""Machine-readable perf snapshot of the full Sybil-resistant pipeline.
+
+Runs one fixed-seed fig6-sized sweep cell (the paper population: 8
+legitimate users, 2 Sybil attackers x 5 accounts; CRH baseline + the
+three grouping methods + the framework per grouping) under a live
+:mod:`repro.obs` tracer, then writes the per-stage wall-clock rollup,
+iteration telemetry, and metric counters to ``BENCH_pipeline.json`` at
+the repo root.
+
+This seeds the bench trajectory: successive PRs re-run the script and
+diff the stage timings, so a perf regression (or win) in grouping,
+data grouping, or the CRH loop is visible as a number instead of a
+feeling.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py
+    PYTHONPATH=src python benchmarks/bench_pipeline.py --trials 5 -o /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Any, Dict
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
+
+# Allow running the script directly, without PYTHONPATH=src.
+_SRC = str(REPO_ROOT / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+#: Snapshot schema tag; bump when the JSON layout changes.
+SCHEMA = "repro.bench/pipeline.v1"
+
+#: The fig6 cell this snapshot times (mid-grid: both populations active).
+LEGIT_ACTIVENESS = 0.5
+SYBIL_ACTIVENESS = 0.6
+
+
+def build_snapshot(trials: int, seed: int) -> Dict[str, Any]:
+    """Run the instrumented cell and assemble the snapshot document."""
+    from repro.experiments.sweeps import run_cell
+    from repro.obs import aggregate_spans, get_metrics, tracing_session
+
+    start = time.perf_counter()
+    with tracing_session() as tracer:
+        run_cell(
+            LEGIT_ACTIVENESS,
+            SYBIL_ACTIVENESS,
+            n_trials=trials,
+            base_seed=seed,
+        )
+        wall_s = time.perf_counter() - start
+        stages = aggregate_spans(tracer)
+        snapshot = get_metrics().snapshot()
+
+        iteration_counts: Dict[str, int] = {}
+        for event in tracer.events:
+            if event.name.endswith(".iteration"):
+                iteration_counts[event.name] = iteration_counts.get(event.name, 0) + 1
+
+    return {
+        "schema": SCHEMA,
+        "created_at": time.time(),
+        "python": platform.python_version(),
+        "config": {
+            "legit_activeness": LEGIT_ACTIVENESS,
+            "sybil_activeness": SYBIL_ACTIVENESS,
+            "trials": trials,
+            "seed": seed,
+        },
+        "wall_s": round(wall_s, 4),
+        "stages": {
+            name: {
+                "count": stage["count"],
+                "total_s": round(stage["total_s"], 6),
+                "mean_s": round(stage["mean_s"], 6),
+                "max_s": round(stage["max_s"], 6),
+            }
+            for name, stage in stages.items()
+        },
+        "iterations": iteration_counts,
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trials", type=int, default=3, help="trials (default 3)")
+    parser.add_argument("--seed", type=int, default=1000, help="base seed (default 1000)")
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=str(DEFAULT_OUTPUT),
+        help=f"output path (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+
+    document = build_snapshot(trials=args.trials, seed=args.seed)
+    target = pathlib.Path(args.output)
+    target.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    total_ms = sum(stage["total_s"] for stage in document["stages"].values()) * 1e3
+    print(f"wrote {target} (wall {document['wall_s']:.2f}s, "
+          f"{len(document['stages'])} stages, {total_ms:.0f}ms traced)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,9 +6,19 @@ Usage::
     python -m repro.cli fig6 --trials 5
     python -m repro.cli all
     python -m repro.cli report --output REPORT.md
+    python -m repro.cli fig6 --trace --trace-out trace.jsonl
+    python -m repro.cli fig7 --profile
 
 Each experiment prints the same rows/series the corresponding paper table
 or figure reports (see DESIGN.md §3 for the index).
+
+Observability flags (any experiment, including ``all``):
+
+* ``--trace`` enables span/event collection via :mod:`repro.obs`;
+* ``--trace-out PATH`` writes the collected trace as JSONL (implies
+  ``--trace``);
+* ``--profile`` prints the stage-time summary table, per-run convergence
+  chart, and metrics after the experiment output (implies ``--trace``).
 """
 
 from __future__ import annotations
@@ -114,6 +124,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="for 'report': write the markdown report to this path",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect spans and convergence records while running",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the collected trace as JSONL to PATH (implies --trace)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the stage-time/metrics summary after the experiment "
+        "(implies --trace)",
+    )
     return parser
 
 
@@ -124,9 +151,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         names = sorted(name for name in EXPERIMENTS if name != "report")
     else:
         names = [args.experiment]
-    for name in names:
-        print(EXPERIMENTS[name](args))
+
+    tracing = args.trace or args.trace_out is not None or args.profile
+    if not tracing:
+        for name in names:
+            print(EXPERIMENTS[name](args))
+            print()
+        return 0
+
+    from repro.obs import get_metrics, render_summary, tracing_session
+
+    with tracing_session(trace_out=args.trace_out) as tracer:
+        for name in names:
+            print(EXPERIMENTS[name](args))
+            print()
+    if args.profile:
+        print(render_summary(tracer, get_metrics()))
         print()
+    if args.trace_out is not None:
+        print(f"trace written to {args.trace_out}")
     return 0
 
 

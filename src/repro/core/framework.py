@@ -44,6 +44,7 @@ from repro.core.truth_discovery import (
 )
 from repro.core.types import Grouping, TaskId
 from repro.errors import ConvergenceError, DataValidationError
+from repro.obs import get_metrics, get_tracer, weight_entropy
 
 _EPS = 1e-12
 
@@ -200,18 +201,30 @@ class SybilResistantTruthDiscovery:
         """
         if len(dataset) == 0:
             raise DataValidationError("cannot run the framework on an empty dataset")
-        if grouping is None:
-            if self._grouper is None:
-                raise DataValidationError(
-                    "either construct with a grouper or pass a grouping"
-                )
-            grouping = self._grouper.group(dataset, fingerprints)
-        grouping = AccountGrouper.complete(
-            grouping.restricted_to(dataset.accounts), dataset
-        )
+        tracer = get_tracer()
+        with tracer.span(
+            "framework.discover",
+            accounts=len(dataset.accounts),
+            tasks=len(dataset.tasks),
+        ) as span:
+            if grouping is None:
+                if self._grouper is None:
+                    raise DataValidationError(
+                        "either construct with a grouper or pass a grouping"
+                    )
+                with tracer.span(
+                    "framework.account_grouping",
+                    grouper=type(self._grouper).__name__,
+                ):
+                    grouping = self._grouper.group(dataset, fingerprints)
+            grouping = AccountGrouper.complete(
+                grouping.restricted_to(dataset.accounts), dataset
+            )
+            span.set("groups", len(grouping))
 
-        group_values, initial_weights = self._group_data(dataset, grouping)
-        return self._iterate(dataset, grouping, group_values, initial_weights)
+            with tracer.span("framework.data_grouping", groups=len(grouping)):
+                group_values, initial_weights = self._group_data(dataset, grouping)
+            return self._iterate(dataset, grouping, group_values, initial_weights)
 
     # ------------------------------------------------------------------
 
@@ -253,46 +266,64 @@ class SybilResistantTruthDiscovery:
         task_pos = {tid: j for j, tid in enumerate(tasks)}
         n_groups = len(grouping)
 
-        # Dense (group, task) matrices of grouped values / answer masks.
-        values = np.full((n_groups, len(tasks)), np.nan)
-        for tid, per_group in group_values.items():
-            for gi, value in per_group.items():
-                values[gi, task_pos[tid]] = value
-        answered = ~np.isnan(values)
+        tracer = get_tracer()
+        with tracer.span(
+            "framework.iterate", groups=n_groups, tasks=len(tasks)
+        ) as span:
+            # Dense (group, task) matrices of grouped values / answer masks.
+            values = np.full((n_groups, len(tasks)), np.nan)
+            for tid, per_group in group_values.items():
+                for gi, value in per_group.items():
+                    values[gi, task_pos[tid]] = value
+            answered = ~np.isnan(values)
 
-        truths = self._initial_truths(tasks, group_values, initial_weights, values)
+            truths = self._initial_truths(tasks, group_values, initial_weights, values)
 
-        # Per-task spread of grouped values, for CRH-style normalization.
-        spreads = nanstd_quiet(np.where(answered, values, np.nan), axis=0)
-        spreads = np.where(np.isnan(spreads) | (spreads < _EPS), 1.0, spreads)
+            # Per-task spread of grouped values, for CRH-style normalization.
+            spreads = nanstd_quiet(np.where(answered, values, np.nan), axis=0)
+            spreads = np.where(np.isnan(spreads) | (spreads < _EPS), 1.0, spreads)
 
-        history: List[Tuple[float, ...]] = []
-        converged = False
-        iterations = 0
-        weights = np.ones(n_groups)
-        for iterations in range(1, self._convergence.max_iterations + 1):
-            # Group weight estimation (line 10): distance of each group's
-            # grouped data from the current truths, through W.
-            deviation = np.where(answered, values - truths[np.newaxis, :], 0.0)
-            distances = (deviation**2 / spreads[np.newaxis, :]).sum(axis=1)
-            weights = self._weight_function(distances)
-            # Truth estimation (line 13).
-            mass = (answered * weights[:, np.newaxis]).sum(axis=0)
-            weighted = (np.where(answered, values, 0.0) * weights[:, np.newaxis]).sum(axis=0)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                estimates = weighted / mass
-            new_truths = np.where(mass > 0, estimates, truths)
-            delta = float(np.max(np.abs(new_truths - truths))) if len(tasks) else 0.0
-            truths = new_truths
-            history.append(tuple(truths))
-            if delta < self._convergence.tolerance:
-                converged = True
-                break
+            history: List[Tuple[float, ...]] = []
+            converged = False
+            iterations = 0
+            weights = np.ones(n_groups)
+            for iterations in range(1, self._convergence.max_iterations + 1):
+                # Group weight estimation (line 10): distance of each group's
+                # grouped data from the current truths, through W.
+                deviation = np.where(answered, values - truths[np.newaxis, :], 0.0)
+                distances = (deviation**2 / spreads[np.newaxis, :]).sum(axis=1)
+                weights = self._weight_function(distances)
+                # Truth estimation (line 13).
+                mass = (answered * weights[:, np.newaxis]).sum(axis=0)
+                weighted = (np.where(answered, values, 0.0) * weights[:, np.newaxis]).sum(axis=0)
+                with np.errstate(invalid="ignore", divide="ignore"):
+                    estimates = weighted / mass
+                new_truths = np.where(mass > 0, estimates, truths)
+                delta = float(np.max(np.abs(new_truths - truths))) if len(tasks) else 0.0
+                truths = new_truths
+                history.append(tuple(truths))
+                if tracer.enabled:
+                    tracer.event(
+                        "framework.iteration",
+                        iteration=iterations,
+                        truth_delta=delta,
+                        weight_entropy=weight_entropy(weights),
+                    )
+                if delta < self._convergence.tolerance:
+                    converged = True
+                    break
 
-        if not converged and self._convergence.strict:
-            raise ConvergenceError(
-                f"framework did not converge in {self._convergence.max_iterations} iterations"
-            )
+            stop_reason = "converged" if converged else "max_iterations"
+            metrics = get_metrics()
+            metrics.counter("framework.runs").inc()
+            metrics.counter("framework.iterations").inc(iterations)
+            if not converged and self._convergence.strict:
+                stop_reason = "convergence_error"
+                span.set("iterations", iterations).set("stop_reason", stop_reason)
+                raise ConvergenceError(
+                    f"framework did not converge in {self._convergence.max_iterations} iterations"
+                )
+            span.set("iterations", iterations).set("stop_reason", stop_reason)
 
         truth_map = {tid: float(truths[j]) for tid, j in task_pos.items()}
         return FrameworkResult(

@@ -27,6 +27,7 @@ from repro.core.dataset import SensingDataset
 from repro.core.grouping.base import AccountGrouper
 from repro.core.types import AccountId, Grouping
 from repro.graph.components import UndirectedGraph
+from repro.obs import get_tracer
 
 
 class CombinedGrouper(AccountGrouper):
@@ -55,13 +56,21 @@ class CombinedGrouper(AccountGrouper):
         fingerprints: Optional[Sequence] = None,
     ) -> Grouping:
         """Run every constituent and combine the resulting partitions."""
-        partitions = [
-            self.complete(grouper.group(dataset, fingerprints), dataset)
-            for grouper in self.groupers
-        ]
-        if self.mode == "union":
-            return _union(partitions)
-        return _intersection(partitions)
+        with get_tracer().span(
+            "grouping.combined",
+            mode=self.mode,
+            constituents=len(self.groupers),
+        ) as span:
+            partitions = [
+                self.complete(grouper.group(dataset, fingerprints), dataset)
+                for grouper in self.groupers
+            ]
+            if self.mode == "union":
+                grouping = _union(partitions)
+            else:
+                grouping = _intersection(partitions)
+            span.set("groups", len(grouping))
+            return grouping
 
 
 def _union(partitions: Sequence[Grouping]) -> Grouping:

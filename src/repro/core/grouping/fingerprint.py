@@ -34,6 +34,7 @@ from repro.features.extractor import FeatureExtractor
 from repro.ml.elbow import estimate_k_elbow
 from repro.ml.kmeans import KMeans
 from repro.ml.pca import PCA
+from repro.obs import get_metrics, get_tracer
 from repro.sensors.fingerprint import FingerprintCapture
 
 
@@ -90,13 +91,19 @@ class FingerprintGrouper(AccountGrouper):
         if len(set(accounts)) != len(accounts):
             raise FingerprintError("multiple captures for one account")
 
-        features = self.project_features(fingerprints)
-        labels = self.cluster(features)
-        groups: dict = {}
-        for account, label in zip(accounts, labels):
-            groups.setdefault(int(label), set()).add(account)
-        grouping = Grouping.from_groups(groups.values())
-        return self.complete(grouping, dataset)
+        tracer = get_tracer()
+        with tracer.span("grouping.ag_fp", accounts=len(accounts)) as span:
+            with tracer.span("grouping.ag_fp.features"):
+                features = self.project_features(fingerprints)
+            with tracer.span("grouping.ag_fp.cluster"):
+                labels = self.cluster(features)
+            groups: dict = {}
+            for account, label in zip(accounts, labels):
+                groups.setdefault(int(label), set()).add(account)
+            grouping = Grouping.from_groups(groups.values())
+            span.set("groups", len(grouping))
+            get_metrics().counter("agfp.runs").inc()
+            return self.complete(grouping, dataset)
 
     # ------------------------------------------------------------------
 

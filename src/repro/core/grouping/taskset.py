@@ -37,6 +37,7 @@ from repro.core.dataset import SensingDataset
 from repro.core.grouping.base import AccountGrouper
 from repro.core.types import AccountId, Grouping
 from repro.graph.threshold import graph_from_affinity, groups_from_components
+from repro.obs import get_metrics, get_tracer
 
 
 def taskset_affinity_matrix(
@@ -56,6 +57,7 @@ def taskset_affinity_matrix(
         raise ValueError("dataset has no tasks; affinity is undefined")
     task_sets = [dataset.task_set(account) for account in order]
     n = len(order)
+    get_metrics().counter("agts.pairs_scored").inc(n * (n - 1) // 2)
     affinity = np.zeros((n, n))
     for i in range(n):
         for j in range(i + 1, n):
@@ -87,6 +89,11 @@ class TaskSetGrouper(AccountGrouper):
         fingerprints: Optional[Sequence] = None,
     ) -> Grouping:
         """Partition accounts by task-set affinity (fingerprints unused)."""
-        order, affinity = taskset_affinity_matrix(dataset)
-        graph = graph_from_affinity(list(order), affinity, self.threshold)
-        return groups_from_components(graph)
+        with get_tracer().span(
+            "grouping.ag_ts", accounts=len(dataset.accounts)
+        ) as span:
+            order, affinity = taskset_affinity_matrix(dataset)
+            graph = graph_from_affinity(list(order), affinity, self.threshold)
+            grouping = groups_from_components(graph)
+            span.set("groups", len(grouping))
+            return grouping

@@ -33,6 +33,7 @@ from repro.core.dataset import SensingDataset
 from repro.core.grouping.base import AccountGrouper
 from repro.core.types import AccountId, Grouping
 from repro.graph.threshold import graph_from_dissimilarity, groups_from_components
+from repro.obs import get_metrics, get_tracer
 from repro.timeseries.dtw import dtw_distance
 
 #: Seconds per hour — the default timestamp rescaling.
@@ -81,6 +82,7 @@ def trajectory_dissimilarity_matrix(
         xs, ys = dataset.trajectory(account)
         trajectories.append((xs, ys / timestamp_scale))
     n = len(order)
+    get_metrics().counter("agtr.pairs_scored").inc(n * (n - 1) // 2)
     matrix = np.zeros((n, n))
     for i in range(n):
         for j in range(i + 1, n):
@@ -132,11 +134,16 @@ class TrajectoryGrouper(AccountGrouper):
         fingerprints: Optional[Sequence] = None,
     ) -> Grouping:
         """Partition accounts by trajectory similarity (fingerprints unused)."""
-        order, matrix = trajectory_dissimilarity_matrix(
-            dataset,
-            timestamp_scale=self.timestamp_scale,
-            normalized=self.normalized,
-            window=self.window,
-        )
-        graph = graph_from_dissimilarity(list(order), matrix, self.threshold)
-        return groups_from_components(graph)
+        with get_tracer().span(
+            "grouping.ag_tr", accounts=len(dataset.accounts)
+        ) as span:
+            order, matrix = trajectory_dissimilarity_matrix(
+                dataset,
+                timestamp_scale=self.timestamp_scale,
+                normalized=self.normalized,
+                window=self.window,
+            )
+            graph = graph_from_dissimilarity(list(order), matrix, self.threshold)
+            grouping = groups_from_components(graph)
+            span.set("groups", len(grouping))
+            return grouping

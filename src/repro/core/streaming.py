@@ -37,6 +37,7 @@ from repro.core.truth_discovery import (
 )
 from repro.core.types import AccountId, Grouping, Observation, TaskId
 from repro.errors import DataValidationError
+from repro.obs import get_metrics, get_tracer
 
 _EPS = 1e-12
 
@@ -223,6 +224,29 @@ class StreamingTruthDiscovery:
             state.mass += weight
             for value in values:
                 state.add_claim_stat(value)
+
+        # Per-batch telemetry: the decayed error mass tracks how much
+        # recent disagreement the engine is carrying, the active-source
+        # gauge how many (grouped) sources hold an error history.
+        error_mass = float(sum(self._errors.values()))
+        batch_sources = len({source for source, _ in votes})
+        metrics = get_metrics()
+        metrics.counter("streaming.batches").inc()
+        metrics.counter("streaming.observations").inc(len(batch))
+        metrics.gauge("streaming.error_mass").set(error_mass)
+        metrics.gauge("streaming.active_sources").set(len(self._errors))
+        metrics.histogram("streaming.batch_size").observe(len(batch))
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.event(
+                "streaming.batch",
+                batch=self._batches,
+                observations=len(batch),
+                batch_sources=batch_sources,
+                active_sources=len(self._errors),
+                error_mass=error_mass,
+                tasks_tracked=len(self._tasks),
+            )
 
         return self.truths
 

@@ -31,6 +31,7 @@ from repro._nputil import nanmean_quiet, nanmedian_quiet, nanminmax_quiet, nanst
 from repro.core.dataset import SensingDataset
 from repro.core.types import TaskId
 from repro.errors import ConvergenceError, DataValidationError
+from repro.obs import get_metrics, get_tracer, weight_entropy
 
 #: A weight functional maps the vector of per-source aggregate distances to
 #: a vector of non-negative source weights.  It must be monotonically
@@ -246,37 +247,55 @@ class IterativeTruthDiscovery:
             raise DataValidationError("cannot run truth discovery on an empty dataset")
 
         matrix, accounts, tasks = dataset.to_matrix()
-        answered = ~np.isnan(matrix)
-        task_mask = answered.any(axis=0)
-        truths = self._initial_truths(matrix, answered)
+        tracer = get_tracer()
+        with tracer.span(
+            "td.discover", accounts=len(accounts), tasks=len(tasks)
+        ) as span:
+            answered = ~np.isnan(matrix)
+            task_mask = answered.any(axis=0)
+            truths = self._initial_truths(matrix, answered)
 
-        # Pre-compute each answered task's claim spread for normalization.
-        spreads = _claim_spreads(matrix, answered)
+            # Pre-compute each answered task's claim spread for normalization.
+            spreads = _claim_spreads(matrix, answered)
 
-        history: List[Tuple[float, ...]] = []
-        converged = False
-        iterations = 0
-        weights = np.ones(len(accounts))
-        for iterations in range(1, self._convergence.max_iterations + 1):
-            weights = self._estimate_weights(matrix, answered, truths, spreads)
-            if self._truth_estimator == "mean":
-                new_truths = _estimate_truths(matrix, answered, weights, truths)
-            else:
-                new_truths = _estimate_truths_median(
-                    matrix, answered, weights, truths
+            history: List[Tuple[float, ...]] = []
+            converged = False
+            iterations = 0
+            weights = np.ones(len(accounts))
+            for iterations in range(1, self._convergence.max_iterations + 1):
+                weights = self._estimate_weights(matrix, answered, truths, spreads)
+                if self._truth_estimator == "mean":
+                    new_truths = _estimate_truths(matrix, answered, weights, truths)
+                else:
+                    new_truths = _estimate_truths_median(
+                        matrix, answered, weights, truths
+                    )
+                delta = float(np.nanmax(np.abs(new_truths - truths))) if task_mask.any() else 0.0
+                truths = new_truths
+                history.append(tuple(truths[task_mask]))
+                if tracer.enabled:
+                    tracer.event(
+                        "td.iteration",
+                        iteration=iterations,
+                        truth_delta=delta,
+                        weight_entropy=weight_entropy(weights),
+                    )
+                if delta < self._convergence.tolerance:
+                    converged = True
+                    break
+
+            stop_reason = "converged" if converged else "max_iterations"
+            metrics = get_metrics()
+            metrics.counter("td.runs").inc()
+            metrics.counter("td.iterations").inc(iterations)
+            if not converged and self._convergence.strict:
+                stop_reason = "convergence_error"
+                span.set("iterations", iterations).set("stop_reason", stop_reason)
+                raise ConvergenceError(
+                    f"truth discovery did not converge in "
+                    f"{self._convergence.max_iterations} iterations"
                 )
-            delta = float(np.nanmax(np.abs(new_truths - truths))) if task_mask.any() else 0.0
-            truths = new_truths
-            history.append(tuple(truths[task_mask]))
-            if delta < self._convergence.tolerance:
-                converged = True
-                break
-
-        if not converged and self._convergence.strict:
-            raise ConvergenceError(
-                f"truth discovery did not converge in "
-                f"{self._convergence.max_iterations} iterations"
-            )
+            span.set("iterations", iterations).set("stop_reason", stop_reason)
 
         truth_map = {
             tid: float(truths[j]) for j, tid in enumerate(tasks) if task_mask[j]

@@ -22,6 +22,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.ml.kmeans import KMeans
+from repro.obs import get_metrics, get_tracer
 
 
 @dataclass(frozen=True)
@@ -76,11 +77,18 @@ def sse_curve(
     generator = rng if rng is not None else np.random.default_rng(0)
 
     candidates = tuple(range(1, k_max + 1))
-    sses = []
-    for k in candidates:
-        fit = KMeans(n_clusters=k, n_init=n_init, rng=generator).fit(data)
-        sses.append(fit.inertia)
-    k_star = _knee(candidates, sses)
+    with get_tracer().span(
+        "ml.elbow_scan", points=n, k_max=k_max
+    ) as span:
+        sses = []
+        for k in candidates:
+            fit = KMeans(n_clusters=k, n_init=n_init, rng=generator).fit(data)
+            sses.append(fit.inertia)
+        k_star = _knee(candidates, sses)
+        span.set("k", k_star)
+    metrics = get_metrics()
+    metrics.counter("elbow.scans").inc()
+    metrics.counter("elbow.candidates").inc(len(candidates))
     return ElbowResult(k=k_star, candidate_ks=candidates, sse=tuple(sses))
 
 

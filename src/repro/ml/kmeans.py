@@ -22,6 +22,7 @@ from typing import Optional
 import numpy as np
 
 from repro.errors import DataValidationError
+from repro.obs import get_metrics
 
 
 @dataclass(frozen=True)
@@ -114,6 +115,10 @@ class KMeans:
             if best is None or result.inertia < best.inertia:
                 best = result
         assert best is not None
+        metrics = get_metrics()
+        metrics.counter("kmeans.fits").inc()
+        metrics.counter("kmeans.restarts").inc(self._n_init)
+        metrics.counter("kmeans.lloyd_iterations").inc(best.iterations)
         return best
 
     # ------------------------------------------------------------------

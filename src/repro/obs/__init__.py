@@ -1,0 +1,120 @@
+"""``repro.obs`` — zero-dependency telemetry for the TD pipeline.
+
+The ROADMAP's north star is a production-scale service; the prerequisite
+for every perf PR is being able to *see* a run: where the wall-clock goes
+between account grouping, data grouping, and the CRH loop (the three
+stages of Algorithm 2), and why a run converged when it did.  This
+package provides that instrumentation layer with nothing beyond the
+standard library:
+
+* :mod:`repro.obs.tracer` — a span-based tracer with a context-manager /
+  decorator API plus point-in-time *events* (the per-iteration
+  convergence records).  The process-global default is a no-op tracer,
+  so instrumented code pays a few attribute lookups when tracing is off.
+* :mod:`repro.obs.metrics` — process-local counters, gauges, and
+  histograms on a named registry (k-means restarts, DTW pruning
+  hit-rate, streaming error mass, …).  Metrics are always on: an
+  increment is a dict lookup and an add, negligible next to the work it
+  counts.
+* :mod:`repro.obs.export` — JSONL serialization of a finished trace
+  (spans + events + a metrics snapshot), one self-describing record per
+  line.
+* :mod:`repro.obs.summary` — an ASCII stage-time table, metrics tables,
+  and a convergence chart, in the same plain-text idiom as the
+  experiment harnesses.
+
+Quickstart::
+
+    from repro.obs import tracing_session
+
+    with tracing_session(trace_out="trace.jsonl") as tracer:
+        SybilResistantTruthDiscovery(TrajectoryGrouper()).discover(dataset)
+    print(render_summary(tracer))
+
+or, from the command line, ``python -m repro.cli fig6 --trace
+--trace-out trace.jsonl --profile``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from repro.obs.export import trace_records, write_jsonl
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.stats import weight_entropy
+from repro.obs.summary import aggregate_spans, render_summary
+from repro.obs.tracer import (
+    NOOP_TRACER,
+    EventRecord,
+    NoopTracer,
+    Span,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    traced,
+)
+
+__all__ = [
+    "Counter",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "aggregate_spans",
+    "get_metrics",
+    "get_tracer",
+    "render_summary",
+    "set_metrics",
+    "set_tracer",
+    "trace_records",
+    "traced",
+    "tracing_session",
+    "weight_entropy",
+    "write_jsonl",
+]
+
+
+@contextmanager
+def tracing_session(
+    trace_out: Optional[Union[str, "object"]] = None,
+    reset_metrics: bool = True,
+) -> Iterator[Tracer]:
+    """Install a live :class:`Tracer` for the duration of a ``with`` block.
+
+    The previous global tracer is restored on exit (even on error), so
+    sessions nest safely and library code never observes a stale tracer.
+
+    Parameters
+    ----------
+    trace_out:
+        Optional path; when given, the finished trace (plus a metrics
+        snapshot) is written there as JSONL on exit.
+    reset_metrics:
+        Clear the global metrics registry on entry (default), so the
+        exported snapshot covers exactly this session.
+    """
+    tracer = Tracer()
+    previous = get_tracer()
+    set_tracer(tracer)
+    if reset_metrics:
+        get_metrics().reset()
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+        if trace_out is not None:
+            write_jsonl(trace_out, tracer, get_metrics())

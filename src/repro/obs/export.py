@@ -1,0 +1,67 @@
+"""JSONL export of a finished trace.
+
+One self-describing JSON object per line, in four record types:
+
+* ``meta`` — schema tag, wall-clock anchor, record counts (first line);
+* ``span`` — one per finished span, in start order;
+* ``event`` — one per event (the per-iteration convergence records);
+* ``metrics`` — a single snapshot of the metrics registry (last line).
+
+The format is deliberately flat and append-friendly: ``jq`` one-liners,
+pandas ``read_json(lines=True)``, and the BENCH snapshot script all
+consume it without a custom parser.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+__all__ = ["trace_records", "write_jsonl"]
+
+#: Schema tag stamped into every trace's meta record.
+SCHEMA = "repro.obs/v1"
+
+
+def _default(value: Any) -> Any:
+    """JSON fallback: numpy scalars and other objects with ``item()``."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    return str(value)
+
+
+def trace_records(
+    tracer: Tracer, registry: Optional[MetricsRegistry] = None
+) -> Iterator[Dict[str, Any]]:
+    """Yield the trace as JSON-ready dicts (meta, spans, events, metrics)."""
+    yield {
+        "type": "meta",
+        "schema": SCHEMA,
+        "created_at": tracer.created_at,
+        "n_spans": len(tracer.spans),
+        "n_events": len(tracer.events),
+    }
+    for span in sorted(tracer.spans, key=lambda record: record.start):
+        yield span.to_dict()
+    for event in tracer.events:
+        yield event.to_dict()
+    if registry is not None:
+        yield {"type": "metrics", **registry.snapshot()}
+
+
+def write_jsonl(
+    path: Union[str, pathlib.Path],
+    tracer: Tracer,
+    registry: Optional[MetricsRegistry] = None,
+) -> pathlib.Path:
+    """Write the trace to ``path`` as JSONL; returns the resolved path."""
+    target = pathlib.Path(path)
+    with target.open("w", encoding="utf-8") as handle:
+        for record in trace_records(tracer, registry):
+            handle.write(json.dumps(record, default=_default) + "\n")
+    return target

@@ -1,0 +1,192 @@
+"""Process-local metrics: named counters, gauges, and histograms.
+
+The registry is deliberately simple — plain Python objects in dicts,
+guarded by one lock only at *creation* time (instrument handles are
+cached by the call sites' get-or-create pattern, and CPython dict/float
+updates are atomic enough for telemetry).  An increment costs a dict
+lookup plus an add, which is negligible next to the DTW dynamic program
+or k-means restart it counts, so metrics stay on even when tracing is
+disabled.
+
+Naming follows the dot-namespaced convention of the spans:
+``kmeans.restarts``, ``dtw.pruned``, ``streaming.error_mass``, …
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+]
+
+
+class Counter:
+    """A monotonically increasing count (events, calls, restarts)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time level (active sources, decayed error mass)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of a value distribution (count/sum/min/max/stddev).
+
+    Keeps Welford running moments instead of samples, so recording is
+    O(1) and the summary never grows with the run.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_mean", "_m2")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        """The running mean (NaN with no observations)."""
+        return self._mean if self.count else math.nan
+
+    @property
+    def stddev(self) -> float:
+        """The running population standard deviation."""
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / self.count)
+
+    def summary(self) -> Dict[str, float]:
+        """The distribution summary as a JSON-ready mapping."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named get-or-create store of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(name, Histogram(name))
+        return instrument
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Every instrument's current value, JSON-ready."""
+        return {
+            "counters": {
+                name: counter.value for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh session's clean slate)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+# ----------------------------------------------------------------------
+# The process-global registry.
+
+_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The global metrics registry."""
+    return _METRICS
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the global registry (tests); returns the previous one."""
+    global _METRICS
+    previous = _METRICS
+    _METRICS = registry
+    return previous

@@ -1,0 +1,32 @@
+"""Telemetry statistics shared by the instrumented algorithms."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["weight_entropy"]
+
+
+def weight_entropy(weights: Sequence[float]) -> float:
+    """Normalized Shannon entropy of a weight vector, in ``[0, 1]``.
+
+    ``1.0`` means the weight mass is spread uniformly over the sources,
+    ``0.0`` that a single source holds it all.  The per-iteration
+    convergence records carry this so a trace shows *how* trust
+    concentrates as the CRH loop iterates (the paper's Sybil-resistance
+    story is exactly "the attacker's group loses weight").
+
+    Non-positive weights contribute nothing (CRH clips unreliable
+    sources to zero); a vector with no positive mass, or a single
+    source, reports entropy ``0.0``.
+    """
+    positive = [float(w) for w in weights if w > 0.0]
+    total = sum(positive)
+    if total <= 0.0 or len(positive) < 2:
+        return 0.0
+    entropy = 0.0
+    for weight in positive:
+        p = weight / total
+        entropy -= p * math.log(p)
+    return entropy / math.log(len(positive))

@@ -1,0 +1,164 @@
+"""ASCII summary of a finished trace: stage times, metrics, convergence.
+
+Rendering reuses the experiment harnesses' plain-text idiom — the
+fixed-width tables of :mod:`repro.experiments.reporting` and the
+character-grid charts of :mod:`repro.experiments.ascii_chart` — so a
+``--profile`` printout reads like the rest of the repo's output.  Those
+modules are imported lazily inside the render functions: ``repro.obs``
+must stay importable from the core algorithms without dragging the
+experiment package (and its harness imports) into every ``import
+repro.core``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+__all__ = ["aggregate_spans", "render_summary"]
+
+#: Event-name suffix identifying per-iteration convergence records.
+ITERATION_SUFFIX = ".iteration"
+
+
+def aggregate_spans(tracer: Tracer) -> Dict[str, Dict[str, Any]]:
+    """Per-stage timing rollup: ``{name: {count, total_s, mean_s, max_s}}``.
+
+    Stages are aggregated by span name over the whole trace, in
+    descending total-time order — the stage table of ``--profile`` and
+    the ``stages`` object of ``BENCH_pipeline.json``.
+    """
+    stages: Dict[str, Dict[str, Any]] = {}
+    for span in tracer.spans:
+        stage = stages.setdefault(
+            span.name, {"count": 0, "total_s": 0.0, "max_s": 0.0, "errors": 0}
+        )
+        stage["count"] += 1
+        stage["total_s"] += span.duration
+        stage["max_s"] = max(stage["max_s"], span.duration)
+        if span.status != "ok":
+            stage["errors"] += 1
+    for stage in stages.values():
+        stage["mean_s"] = stage["total_s"] / stage["count"]
+    return dict(
+        sorted(stages.items(), key=lambda item: item[1]["total_s"], reverse=True)
+    )
+
+
+def _stage_table(tracer: Tracer) -> Optional[str]:
+    from repro.experiments.reporting import render_table
+
+    stages = aggregate_spans(tracer)
+    if not stages:
+        return None
+    wall = max((span.start + span.duration for span in tracer.spans), default=0.0)
+    rows = [
+        [
+            name,
+            stage["count"],
+            f"{stage['total_s'] * 1e3:.1f}",
+            f"{stage['mean_s'] * 1e3:.2f}",
+            f"{stage['max_s'] * 1e3:.2f}",
+            f"{100.0 * stage['total_s'] / wall:.1f}" if wall > 0 else "x",
+        ]
+        for name, stage in stages.items()
+    ]
+    return render_table(
+        ["stage", "count", "total ms", "mean ms", "max ms", "% wall"],
+        rows,
+        title="Stage times",
+    )
+
+
+def _metrics_tables(registry: MetricsRegistry) -> List[str]:
+    from repro.experiments.reporting import render_table
+
+    snapshot = registry.snapshot()
+    parts: List[str] = []
+    if snapshot["counters"]:
+        parts.append(
+            render_table(
+                ["counter", "value"],
+                [[name, value] for name, value in snapshot["counters"].items()],
+                title="Counters",
+            )
+        )
+    if snapshot["gauges"]:
+        parts.append(
+            render_table(
+                ["gauge", "value"],
+                [
+                    [name, "x" if value is None else f"{value:.4g}"]
+                    for name, value in snapshot["gauges"].items()
+                ],
+                title="Gauges",
+            )
+        )
+    if snapshot["histograms"]:
+        parts.append(
+            render_table(
+                ["histogram", "count", "mean", "stddev", "min", "max"],
+                [
+                    [
+                        name,
+                        summary["count"],
+                        f"{summary.get('mean', float('nan')):.4g}",
+                        f"{summary.get('stddev', float('nan')):.4g}",
+                        f"{summary.get('min', float('nan')):.4g}",
+                        f"{summary.get('max', float('nan')):.4g}",
+                    ]
+                    for name, summary in snapshot["histograms"].items()
+                    if summary["count"]
+                ],
+                title="Histograms",
+            )
+        )
+    return parts
+
+
+def _convergence_chart(tracer: Tracer) -> Optional[str]:
+    """Truth-delta curve of the trace's *last* convergence run."""
+    from repro.experiments.ascii_chart import DEFAULT_WIDTH, line_chart
+
+    by_run: Dict[Any, List[float]] = {}
+    name_of_run: Dict[Any, str] = {}
+    for event in tracer.events:
+        if not event.name.endswith(ITERATION_SUFFIX):
+            continue
+        delta = event.fields.get("truth_delta")
+        if delta is None:
+            continue
+        key = (event.name, event.span_id)
+        by_run.setdefault(key, []).append(float(delta))
+        name_of_run[key] = event.name
+    if not by_run:
+        return None
+    key, deltas = list(by_run.items())[-1]
+    if len(deltas) < 2:
+        return None
+    deltas = deltas[-DEFAULT_WIDTH:]
+    return line_chart(
+        {"truth delta": deltas},
+        x_labels=["iter 1", f"iter {len(deltas)}"],
+        title=f"Convergence — last {name_of_run[key]} run",
+    )
+
+
+def render_summary(
+    tracer: Tracer, registry: Optional[MetricsRegistry] = None
+) -> str:
+    """The full ASCII telemetry summary (``--profile``'s output)."""
+    parts: List[str] = []
+    stage_table = _stage_table(tracer)
+    if stage_table:
+        parts.append(stage_table)
+    chart = _convergence_chart(tracer)
+    if chart:
+        parts.append(chart)
+    if registry is not None:
+        parts.extend(_metrics_tables(registry))
+    if not parts:
+        return "(no telemetry recorded)"
+    return "\n\n".join(parts)

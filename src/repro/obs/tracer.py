@@ -1,0 +1,316 @@
+"""Span tracer: timed, nested stages plus point-in-time event records.
+
+A *span* covers one pipeline stage (``framework.data_grouping``,
+``grouping.ag_tr``, …): it has a name, a wall-clock start/duration, a
+parent (spans nest through a per-thread stack), free-form attributes,
+and a status (``ok``, or the exception type that escaped it).  An
+*event* is a timestamped point record — the per-iteration convergence
+telemetry rides on events — attached to whatever span is open when it
+fires.
+
+Two tracer implementations share one interface:
+
+* :class:`Tracer` collects finished :class:`SpanRecord`/:class:`EventRecord`
+  objects in memory for later export or summary;
+* :class:`NoopTracer` (the process default) hands out a shared inert
+  span and drops events, so instrumented code pays only a couple of
+  attribute lookups when tracing is disabled.  Hot loops can skip even
+  building event payloads by checking ``tracer.enabled`` first.
+
+All timings use :func:`time.perf_counter`, expressed as seconds since
+the tracer's creation; the creation's epoch time is kept so exported
+traces can be anchored to wall-clock time.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "EventRecord",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "traced",
+]
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.
+
+    Attributes
+    ----------
+    name:
+        Stage name, dot-namespaced (``framework.iterate``).
+    span_id, parent_id:
+        This span's id and the id of the span it nested under (``None``
+        for a root span).
+    start, duration:
+        Seconds since the tracer's creation, and the span's length.
+    attributes:
+        Free-form key/value detail (``iterations``, ``stop_reason``, …).
+    status:
+        ``"ok"``, or ``"error:<ExceptionType>"`` when an exception
+        escaped the span body.
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    duration: float
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The span as a JSON-ready record."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": round(self.start, 9),
+            "duration_s": round(self.duration, 9),
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One point-in-time record (e.g. one CRH iteration's telemetry)."""
+
+    name: str
+    time: float
+    span_id: Optional[int]
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The event as a JSON-ready record."""
+        return {
+            "type": "event",
+            "name": self.name,
+            "time_s": round(self.time, 9),
+            "span_id": self.span_id,
+            "fields": dict(self.fields),
+        }
+
+
+class Span:
+    """A live, open span; use as a context manager.
+
+    Created by :meth:`Tracer.span`; finishing (context exit) appends an
+    immutable :class:`SpanRecord` to the tracer.
+    """
+
+    __slots__ = ("_tracer", "name", "span_id", "parent_id", "_start", "_attributes")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        attributes: Dict[str, Any],
+    ):
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self._attributes = attributes
+        self._start = tracer.clock()
+
+    def set(self, key: str, value: Any) -> "Span":
+        """Attach one attribute; returns the span for chaining."""
+        self._attributes[key] = value
+        return self
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self.span_id)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._pop(self.span_id)
+        status = "ok" if exc_type is None else f"error:{exc_type.__name__}"
+        self._tracer._record(
+            SpanRecord(
+                name=self.name,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                start=self._start,
+                duration=self._tracer.clock() - self._start,
+                attributes=self._attributes,
+                status=status,
+            )
+        )
+
+
+class _NullSpan:
+    """The shared inert span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def set(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NoopTracer:
+    """The disabled tracer: records nothing, allocates nothing per call."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes: Any) -> _NullSpan:
+        """Return the shared inert span."""
+        return _NULL_SPAN
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Drop the event."""
+
+
+#: The process-wide disabled tracer (also the initial global tracer).
+NOOP_TRACER = NoopTracer()
+
+
+class Tracer:
+    """An enabled tracer collecting spans and events in memory.
+
+    Spans nest through a per-thread stack, so concurrent threads each
+    get a consistent parent chain while sharing one record sink.  The
+    record lists are append-only; read them (or use
+    :mod:`repro.obs.export` / :mod:`repro.obs.summary`) once the traced
+    work is done.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.clock_epoch = clock()
+        self.created_at = time.time()
+        self._raw_clock = clock
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.spans: List[SpanRecord] = []
+        self.events: List[EventRecord] = []
+
+    # ------------------------------------------------------------------
+
+    def clock(self) -> float:
+        """Seconds since this tracer was created."""
+        return self._raw_clock() - self.clock_epoch
+
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span_id(self) -> Optional[int]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Open a span; use it as a context manager (``with tracer.span(...)``)."""
+        with self._lock:
+            span_id = next(self._ids)
+        return Span(self, name, span_id, self.current_span_id(), dict(attributes))
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record a point-in-time event under the current span."""
+        self._record_event(
+            EventRecord(
+                name=name,
+                time=self.clock(),
+                span_id=self.current_span_id(),
+                fields=fields,
+            )
+        )
+
+    # -- internal sinks -------------------------------------------------
+
+    def _push(self, span_id: int) -> None:
+        self._stack().append(span_id)
+
+    def _pop(self, span_id: int) -> None:
+        stack = self._stack()
+        if stack and stack[-1] == span_id:
+            stack.pop()
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.spans.append(record)
+
+    def _record_event(self, record: EventRecord) -> None:
+        with self._lock:
+            self.events.append(record)
+
+
+# ----------------------------------------------------------------------
+# The process-global tracer.
+
+_TRACER: Any = NOOP_TRACER
+
+
+def get_tracer() -> Any:
+    """The current global tracer (:data:`NOOP_TRACER` unless installed)."""
+    return _TRACER
+
+
+def set_tracer(tracer: Any) -> Any:
+    """Install ``tracer`` globally; returns the previous one.
+
+    Prefer :func:`repro.obs.tracing_session`, which restores the
+    previous tracer automatically.
+    """
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def traced(name: Optional[str] = None, **attributes: Any) -> Callable:
+    """Decorator form of :meth:`Tracer.span`.
+
+    The tracer is looked up at *call* time, so decorating a function is
+    free until a session installs a live tracer::
+
+        @traced("features.extract")
+        def fit_transform(self, captures): ...
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        span_name = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            tracer = get_tracer()
+            if not tracer.enabled:
+                return fn(*args, **kwargs)
+            with tracer.span(span_name, **attributes):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -22,6 +22,8 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import get_metrics, get_tracer
+
 
 def _as_series(values: Sequence[float], name: str) -> np.ndarray:
     arr = np.asarray(values, dtype=float)
@@ -122,21 +124,30 @@ def pruned_dtw_matrix(
 
     arrays = [np.asarray(s, dtype=float) for s in series]
     n = len(arrays)
-    matrix = np.zeros((n, n))
-    computed = 0
-    pruned = 0
-    band = window if window is not None else 0
-    for i in range(n):
-        for j in range(i + 1, n):
-            a, b = arrays[i], arrays[j]
-            bound = lb_kim(a, b)
-            if bound <= threshold and len(a) == len(b) and window is not None:
-                bound = max(bound, lb_keogh(a, b, band))
-            if bound > threshold:
-                matrix[i, j] = matrix[j, i] = np.inf
-                pruned += 1
-                continue
-            cost = dtw_distance(a, b, window=window, normalized=False)
-            matrix[i, j] = matrix[j, i] = cost
-            computed += 1
+    with get_tracer().span(
+        "timeseries.pruned_dtw_matrix", series=n, threshold=threshold
+    ) as span:
+        matrix = np.zeros((n, n))
+        computed = 0
+        pruned = 0
+        band = window if window is not None else 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                a, b = arrays[i], arrays[j]
+                bound = lb_kim(a, b)
+                if bound <= threshold and len(a) == len(b) and window is not None:
+                    bound = max(bound, lb_keogh(a, b, band))
+                if bound > threshold:
+                    matrix[i, j] = matrix[j, i] = np.inf
+                    pruned += 1
+                    continue
+                cost = dtw_distance(a, b, window=window, normalized=False)
+                matrix[i, j] = matrix[j, i] = cost
+                computed += 1
+        span.set("computed", computed).set("pruned", pruned)
+    metrics = get_metrics()
+    metrics.counter("dtw.pairs_computed").inc(computed)
+    metrics.counter("dtw.pairs_pruned").inc(pruned)
+    if computed + pruned:
+        metrics.gauge("dtw.prune_hit_rate").set(pruned / (computed + pruned))
     return matrix, computed, pruned

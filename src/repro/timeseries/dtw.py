@@ -29,6 +29,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import get_metrics
+
 
 def _as_series(values: Sequence[float], name: str) -> np.ndarray:
     arr = np.asarray(values, dtype=float)
@@ -121,6 +123,9 @@ def dtw_distance(
         if false return the raw total cost (useful for tests against
         hand-computed DP tables).
     """
+    metrics = get_metrics()
+    metrics.counter("dtw.calls").inc()
+    metrics.histogram("dtw.cells").observe(len(a) * len(b))
     path, total = warping_path(a, b, window=window)
     if not normalized:
         return total

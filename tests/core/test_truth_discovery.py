@@ -114,6 +114,40 @@ class TestIterativeTruthDiscovery:
         with pytest.raises(ConvergenceError):
             IterativeTruthDiscovery(convergence=policy).discover(simple_dataset)
 
+    def test_strict_raises_exactly_at_budget_not_before(self, simple_dataset):
+        # With tolerance 0 the loop can never converge: a strict policy
+        # must run the full budget, then raise naming that budget.
+        budget = 7
+        policy = ConvergencePolicy(max_iterations=budget, tolerance=0.0, strict=True)
+        with pytest.raises(ConvergenceError, match=str(budget)):
+            IterativeTruthDiscovery(convergence=policy).discover(simple_dataset)
+        # The same budget without strict completes and reports it was spent.
+        relaxed = ConvergencePolicy(max_iterations=budget, tolerance=0.0)
+        result = IterativeTruthDiscovery(convergence=relaxed).discover(simple_dataset)
+        assert result.iterations == budget
+        assert not result.converged
+
+    def test_truth_history_length_and_ordering(self, simple_dataset):
+        result = IterativeTruthDiscovery().discover(simple_dataset)
+        history = result.truth_history
+        # One snapshot per iteration, each covering every answered task.
+        assert len(history) == result.iterations
+        assert all(len(row) == len(result.truths) for row in history)
+        # The last snapshot is the final truth vector, in task-sorted order.
+        _, _, tasks = simple_dataset.to_matrix()
+        final = tuple(result.truths[tid] for tid in tasks)
+        assert history[-1] == pytest.approx(final)
+        # Converged run: successive snapshots approach the final iterate.
+        distances = [
+            max(abs(a - b) for a, b in zip(row, history[-1])) for row in history
+        ]
+        assert distances[0] >= distances[-1]
+
+    def test_truth_history_capped_by_budget(self, simple_dataset):
+        policy = ConvergencePolicy(max_iterations=3, tolerance=0.0)
+        result = IterativeTruthDiscovery(convergence=policy).discover(simple_dataset)
+        assert len(result.truth_history) == 3
+
     def test_non_strict_returns_partial_result(self, simple_dataset):
         policy = ConvergencePolicy(max_iterations=1, tolerance=0.0)
         result = IterativeTruthDiscovery(convergence=policy).discover(simple_dataset)

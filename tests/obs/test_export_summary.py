@@ -1,0 +1,102 @@
+"""Tests for JSONL export and the ASCII summary renderer."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    aggregate_spans,
+    render_summary,
+    trace_records,
+    write_jsonl,
+)
+
+
+def _sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("framework.discover", accounts=4):
+        with tracer.span("framework.iterate") as span:
+            for iteration in range(1, 4):
+                tracer.event(
+                    "framework.iteration",
+                    iteration=iteration,
+                    truth_delta=1.0 / 10**iteration,
+                    weight_entropy=0.9,
+                )
+            span.set("iterations", 3).set("stop_reason", "converged")
+    return tracer
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("dtw.calls").inc(7)
+        tracer = _sample_tracer()
+        path = write_jsonl(tmp_path / "trace.jsonl", tracer, registry)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+
+        assert records[0]["type"] == "meta"
+        assert records[0]["schema"] == "repro.obs/v1"
+        assert records[0]["n_spans"] == 2
+        assert records[-1]["type"] == "metrics"
+        assert records[-1]["counters"] == {"dtw.calls": 7}
+
+        spans = [r for r in records if r["type"] == "span"]
+        events = [r for r in records if r["type"] == "event"]
+        assert {s["name"] for s in spans} == {
+            "framework.discover",
+            "framework.iterate",
+        }
+        # Spans are exported in start order: parent opened first.
+        assert spans[0]["name"] == "framework.discover"
+        assert len(events) == 3
+        assert events[0]["fields"]["truth_delta"] == 0.1
+
+    def test_numpy_values_serialize(self, tmp_path):
+        import numpy as np
+
+        tracer = Tracer()
+        with tracer.span("s", value=np.float64(1.5), count=np.int64(2)):
+            pass
+        path = write_jsonl(tmp_path / "np.jsonl", tracer)
+        attributes = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ][1]["attributes"]
+        assert attributes == {"value": 1.5, "count": 2}
+
+    def test_records_without_registry_skip_metrics(self):
+        records = list(trace_records(_sample_tracer()))
+        assert records[0]["type"] == "meta"
+        assert all(record["type"] != "metrics" for record in records)
+
+
+class TestSummary:
+    def test_aggregate_spans_rolls_up_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("stage.a"):
+                pass
+        with tracer.span("stage.b"):
+            pass
+        stages = aggregate_spans(tracer)
+        assert stages["stage.a"]["count"] == 3
+        assert stages["stage.a"]["total_s"] >= stages["stage.a"]["max_s"]
+        assert stages["stage.a"]["mean_s"] * 3 == stages["stage.a"]["total_s"]
+        assert stages["stage.b"]["count"] == 1
+        assert stages["stage.a"]["errors"] == 0
+
+    def test_render_summary_contains_stage_table_and_chart(self):
+        tracer = _sample_tracer()
+        registry = MetricsRegistry()
+        registry.counter("kmeans.restarts").inc(8)
+        registry.gauge("dtw.prune_hit_rate").set(0.25)
+        text = render_summary(tracer, registry)
+        assert "Stage times" in text
+        assert "framework.iterate" in text
+        assert "Convergence" in text  # 3 iteration events -> chart
+        assert "kmeans.restarts" in text
+        assert "dtw.prune_hit_rate" in text
+
+    def test_render_summary_empty_trace(self):
+        assert render_summary(Tracer()) == "(no telemetry recorded)"

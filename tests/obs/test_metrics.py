@@ -1,0 +1,91 @@
+"""Unit tests for the metrics registry and the telemetry statistics."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, get_metrics, weight_entropy
+
+
+class TestCounter:
+    def test_get_or_create_and_increment(self):
+        registry = MetricsRegistry()
+        registry.counter("calls").inc()
+        registry.counter("calls").inc(4)
+        assert registry.counter("calls").value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("level")
+        assert gauge.value is None
+        gauge.set(3)
+        gauge.set(1.5)
+        assert registry.gauge("level").value == 1.5
+
+
+class TestHistogram:
+    def test_running_summary(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["total"] == 10.0
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["stddev"] == pytest.approx(math.sqrt(1.25))
+
+    def test_empty_summary(self):
+        assert MetricsRegistry().histogram("h").summary() == {"count": 0}
+        assert math.isnan(MetricsRegistry().histogram("h").mean)
+
+
+class TestRegistry:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("a.calls").inc(2)
+        registry.gauge("a.level").set(0.5)
+        registry.histogram("a.sizes").observe(7)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"a.calls": 2}
+        assert snapshot["gauges"] == {"a.level": 0.5}
+        assert snapshot["histograms"]["a.sizes"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_global_registry_is_shared(self):
+        assert get_metrics() is get_metrics()
+
+
+class TestWeightEntropy:
+    def test_uniform_weights_have_entropy_one(self):
+        assert weight_entropy([1.0, 1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_concentrated_weights_have_entropy_zero(self):
+        assert weight_entropy([5.0, 0.0, 0.0]) == 0.0
+        assert weight_entropy([0.0, 0.0]) == 0.0
+        assert weight_entropy([3.0]) == 0.0
+
+    def test_intermediate_entropy_is_bounded(self):
+        value = weight_entropy([0.7, 0.2, 0.1])
+        assert 0.0 < value < 1.0
+
+    def test_negative_weights_ignored(self):
+        # CRH clips unreliable sources to 0; a negative weight never
+        # contributes probability mass.
+        assert weight_entropy([-1.0, 2.0, 2.0]) == pytest.approx(1.0)

@@ -1,0 +1,140 @@
+"""Unit tests for the span tracer: nesting, attributes, no-op default."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NOOP_TRACER,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    traced,
+    tracing_session,
+)
+
+
+class TestNoopDefault:
+    def test_global_default_is_noop(self):
+        assert get_tracer() is NOOP_TRACER
+        assert not get_tracer().enabled
+
+    def test_noop_span_is_inert_and_shared(self):
+        span_a = NOOP_TRACER.span("anything", key="value")
+        span_b = NOOP_TRACER.span("other")
+        assert span_a is span_b
+        with span_a as handle:
+            assert handle.set("k", 1) is handle
+        NOOP_TRACER.event("dropped", x=1)
+
+
+class TestSpans:
+    def test_span_records_name_duration_and_attributes(self):
+        tracer = Tracer()
+        with tracer.span("stage.one", size=3) as span:
+            span.set("result", "ok")
+        assert len(tracer.spans) == 1
+        record = tracer.spans[0]
+        assert record.name == "stage.one"
+        assert record.duration >= 0.0
+        assert record.attributes == {"size": 3, "result": "ok"}
+        assert record.status == "ok"
+        assert record.parent_id is None
+
+    def test_nested_spans_link_parents(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner"):
+                pass
+        inner_rec, outer_rec = tracer.spans
+        assert inner_rec.name == "inner"
+        assert inner_rec.parent_id == outer.span_id
+        assert outer_rec.parent_id is None
+
+    def test_exception_marks_status_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        assert tracer.spans[0].status == "error:ValueError"
+
+    def test_events_attach_to_open_span(self):
+        tracer = Tracer()
+        with tracer.span("run") as span:
+            tracer.event("run.iteration", iteration=1, truth_delta=0.5)
+        tracer.event("orphan")
+        first, second = tracer.events
+        assert first.span_id == span.span_id
+        assert first.fields == {"iteration": 1, "truth_delta": 0.5}
+        assert second.span_id is None
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker():
+            # The main thread's open span must not leak in as a parent.
+            seen["parent"] = tracer.current_span_id()
+
+        with tracer.span("main-only"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["parent"] is None
+
+
+class TestTracingSession:
+    def test_installs_and_restores_global_tracer(self):
+        before = get_tracer()
+        with tracing_session() as tracer:
+            assert get_tracer() is tracer
+            assert tracer.enabled
+        assert get_tracer() is before
+
+    def test_restores_on_error(self):
+        before = get_tracer()
+        with pytest.raises(RuntimeError):
+            with tracing_session():
+                raise RuntimeError
+        assert get_tracer() is before
+
+    def test_writes_jsonl_on_exit(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        with tracing_session(trace_out=out) as tracer:
+            with tracer.span("stage"):
+                pass
+        assert out.exists()
+        assert out.read_text().count("\n") >= 2  # meta + span + metrics
+
+
+class TestTracedDecorator:
+    def test_decorator_spans_only_when_enabled(self):
+        calls = []
+
+        @traced("decorated.stage")
+        def work(x):
+            calls.append(x)
+            return x * 2
+
+        assert work(2) == 4  # noop tracer: runs undecorated
+        with tracing_session() as tracer:
+            assert work(3) == 6
+        assert calls == [2, 3]
+        assert [record.name for record in tracer.spans] == ["decorated.stage"]
+
+    def test_decorator_defaults_to_qualname(self):
+        @traced()
+        def some_function():
+            return 1
+
+        with tracing_session() as tracer:
+            some_function()
+        assert "some_function" in tracer.spans[0].name
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
