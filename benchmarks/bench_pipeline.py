@@ -7,6 +7,18 @@ three grouping methods + the framework per grouping) under a live
 iteration telemetry, and metric counters to ``BENCH_pipeline.json`` at
 the repo root.
 
+Since schema v2 the snapshot also times:
+
+* a **large synthetic scenario** (2000 accounts x 500 tasks, ~80k
+  claims) through CRH, the framework, and the streaming engine — the
+  scale where the claim-matrix engine's vectorized kernels matter;
+* the **engine kernels** in isolation (matrix compile, spread
+  normalizer, distance / truth-update segment-sums) so a kernel-level
+  regression is attributable without re-profiling;
+* ``speedup_vs_previous`` — stage-by-stage ratios against the
+  ``BENCH_pipeline.json`` being overwritten, so every PR's perf delta
+  is recorded in the artifact itself.
+
 This seeds the bench trajectory: successive PRs re-run the script and
 diff the stage timings, so a perf regression (or win) in grouping,
 data grouping, or the CRH loop is visible as a number instead of a
@@ -35,11 +47,173 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 #: Snapshot schema tag; bump when the JSON layout changes.
-SCHEMA = "repro.bench/pipeline.v1"
+SCHEMA = "repro.bench/pipeline.v2"
 
 #: The fig6 cell this snapshot times (mid-grid: both populations active).
 LEGIT_ACTIVENESS = 0.5
 SYBIL_ACTIVENESS = 0.6
+
+#: The large synthetic scenario (fixed seeds so runs are comparable).
+LARGE_SEED = 77
+LARGE_ACCOUNTS = 2000
+LARGE_TASKS = 500
+LARGE_DENSITY = 0.08
+LARGE_GROUPS = 400
+
+
+def _make_large_scenario():
+    """~80k-claim campaign plus a random 400-group partition."""
+    import numpy as np
+
+    from repro.core.dataset import SensingDataset
+    from repro.core.types import Grouping, Observation, Task
+
+    rng = np.random.default_rng(LARGE_SEED)
+    truths = rng.uniform(-90, -60, LARGE_TASKS)
+    observations = []
+    for i in range(LARGE_ACCOUNTS):
+        mask = rng.random(LARGE_TASKS) < LARGE_DENSITY
+        noise = rng.normal(0, 2.0, LARGE_TASKS)
+        for j in np.nonzero(mask)[0]:
+            observations.append(
+                Observation(
+                    f"a{i:04d}", f"T{j:04d}", float(truths[j] + noise[j]), float(j)
+                )
+            )
+    tasks = [Task(task_id=f"T{j:04d}") for j in range(LARGE_TASKS)]
+    dataset = SensingDataset(tasks, observations)
+
+    group_rng = np.random.default_rng(5)
+    labels = group_rng.integers(0, LARGE_GROUPS, len(dataset.accounts))
+    groups: Dict[int, list] = {}
+    for account, g in zip(dataset.accounts, labels):
+        groups.setdefault(int(g), []).append(account)
+    grouping = Grouping.from_groups(list(groups.values()))
+    return dataset, grouping
+
+
+def time_large_scenario() -> Dict[str, Any]:
+    """End-to-end timings of the three engine consumers at ~80k claims."""
+    from repro.core.crh import CRH
+    from repro.core.framework import SybilResistantTruthDiscovery
+    from repro.core.streaming import StreamingTruthDiscovery, replay_dataset
+
+    dataset, grouping = _make_large_scenario()
+
+    t0 = time.perf_counter()
+    crh_result = CRH().discover(dataset)
+    crh_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    framework_result = SybilResistantTruthDiscovery().discover(
+        dataset, grouping=grouping
+    )
+    framework_s = time.perf_counter() - t0
+
+    observations = [
+        obs
+        for account in dataset.accounts
+        for obs in dataset.observations_for_account(account)
+    ]
+    engine = StreamingTruthDiscovery(decay=0.9, grouping=grouping)
+    t0 = time.perf_counter()
+    replay_dataset(engine, observations, batch_seconds=25.0)
+    streaming_s = time.perf_counter() - t0
+
+    return {
+        "claims": len(dataset),
+        "accounts": LARGE_ACCOUNTS,
+        "tasks": LARGE_TASKS,
+        "groups": len(grouping),
+        "crh_s": round(crh_s, 4),
+        "crh_iterations": crh_result.iterations,
+        "framework_s": round(framework_s, 4),
+        "framework_iterations": framework_result.iterations,
+        "streaming_s": round(streaming_s, 4),
+        "streaming_batches": engine.batches_seen,
+    }
+
+
+def time_engine_kernels(iterations: int = 25) -> Dict[str, Any]:
+    """Isolated per-kernel timings over the large scenario's claim matrix."""
+    import numpy as np
+
+    from repro.core.engine import (
+        ClaimMatrix,
+        column_spreads,
+        segment_row_distances,
+        segment_weighted_truths,
+    )
+    from repro.core.truth_discovery import crh_log_weights
+
+    dataset, _ = _make_large_scenario()
+    t0 = time.perf_counter()
+    matrix = ClaimMatrix.from_dataset(dataset)
+    compile_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    spreads = column_spreads(matrix.values, matrix.col_idx, matrix.n_cols)
+    spreads_s = time.perf_counter() - t0
+
+    truths = np.nan_to_num(matrix.column_means())
+    distance_s = truth_s = 0.0
+    for _ in range(iterations):
+        t0 = time.perf_counter()
+        distances = segment_row_distances(
+            matrix.values, matrix.row_idx, matrix.col_idx,
+            truths, matrix.n_rows, spreads,
+        )
+        distance_s += time.perf_counter() - t0
+        weights = crh_log_weights(distances)
+        t0 = time.perf_counter()
+        truths = segment_weighted_truths(
+            matrix.values, matrix.col_idx,
+            weights[matrix.row_idx], matrix.n_cols, truths,
+        )
+        truth_s += time.perf_counter() - t0
+
+    return {
+        "claims": matrix.nnz,
+        "iterations": iterations,
+        "compile_s": round(compile_s, 6),
+        "spreads_s": round(spreads_s, 6),
+        "distance_kernel_mean_s": round(distance_s / iterations, 6),
+        "truth_kernel_mean_s": round(truth_s / iterations, 6),
+    }
+
+
+def speedup_vs_previous(
+    previous: Dict[str, Any], current: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Stage-by-stage old/new timing ratios (>1 means this run is faster)."""
+
+    def ratio(old, new):
+        if not old or not new or new <= 0:
+            return None
+        return round(old / new, 3)
+
+    stages = {}
+    for name, stage in current.get("stages", {}).items():
+        old = previous.get("stages", {}).get(name, {}).get("total_s")
+        r = ratio(old, stage.get("total_s"))
+        if r is not None:
+            stages[name] = r
+    out: Dict[str, Any] = {
+        "baseline_created_at": previous.get("created_at"),
+        "baseline_schema": previous.get("schema"),
+        "wall": ratio(previous.get("wall_s"), current.get("wall_s")),
+        "stages": stages,
+    }
+    old_large = previous.get("large_scenario", {})
+    new_large = current.get("large_scenario", {})
+    large = {
+        key: ratio(old_large.get(key), new_large.get(key))
+        for key in ("crh_s", "framework_s", "streaming_s")
+        if ratio(old_large.get(key), new_large.get(key)) is not None
+    }
+    if large:
+        out["large_scenario"] = large
+    return out
 
 
 def build_snapshot(trials: int, seed: int) -> Dict[str, Any]:
@@ -87,6 +261,8 @@ def build_snapshot(trials: int, seed: int) -> Dict[str, Any]:
         "iterations": iteration_counts,
         "counters": snapshot["counters"],
         "gauges": snapshot["gauges"],
+        "large_scenario": time_large_scenario(),
+        "engine_kernels": time_engine_kernels(),
     }
 
 
@@ -102,12 +278,29 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    document = build_snapshot(trials=args.trials, seed=args.seed)
     target = pathlib.Path(args.output)
+    previous: Dict[str, Any] = {}
+    if target.exists():
+        try:
+            previous = json.loads(target.read_text())
+        except (OSError, ValueError):
+            previous = {}
+
+    document = build_snapshot(trials=args.trials, seed=args.seed)
+    if previous:
+        document["speedup_vs_previous"] = speedup_vs_previous(previous, document)
     target.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
     total_ms = sum(stage["total_s"] for stage in document["stages"].values()) * 1e3
     print(f"wrote {target} (wall {document['wall_s']:.2f}s, "
           f"{len(document['stages'])} stages, {total_ms:.0f}ms traced)")
+    large = document["large_scenario"]
+    print(f"large scenario ({large['claims']} claims): "
+          f"crh {large['crh_s']:.3f}s, framework {large['framework_s']:.3f}s, "
+          f"streaming {large['streaming_s']:.3f}s")
+    speedup = document.get("speedup_vs_previous", {}).get("large_scenario")
+    if speedup:
+        print("speedup vs previous snapshot: "
+              + ", ".join(f"{k} {v:.2f}x" for k, v in speedup.items()))
     return 0
 
 

@@ -1,4 +1,4 @@
-"""Internal numpy helpers: NaN-aggregations without RuntimeWarnings.
+"""Internal numpy helpers: the shared numerical floor and quiet NaN-aggregations.
 
 Tasks nobody answered produce all-NaN columns in the dense observation
 matrix; ``np.nanmean``/``np.nanstd`` handle them correctly (returning
@@ -13,6 +13,11 @@ import warnings
 from typing import Optional
 
 import numpy as np
+
+#: Numerical floor shared across the library: keeps logarithms and
+#: divisions finite when a distance, spread, or weight mass is exactly
+#: zero (e.g. a source agreeing perfectly with every truth estimate).
+EPS = 1e-12
 
 
 def nanmean_quiet(values: np.ndarray, axis: Optional[int] = None) -> np.ndarray:

@@ -11,7 +11,10 @@ Public surface:
 * the Sybil-resistant framework (Algorithm 2) —
   :class:`~repro.core.framework.SybilResistantTruthDiscovery`;
 * account grouping — :mod:`repro.core.grouping` (AG-FP, AG-TS, AG-TR and
-  the combined extension).
+  the combined extension);
+* the vectorized claim-matrix engine all of the above run on —
+  :mod:`repro.core.engine` (:class:`~repro.core.engine.ClaimMatrix`,
+  :func:`~repro.core.engine.run_convergence_loop`).
 """
 
 from repro.core.baselines import CATD, GTM, MeanAggregator, MedianAggregator
@@ -22,6 +25,7 @@ from repro.core.categorical import (
 )
 from repro.core.crh import CRH
 from repro.core.dataset import SensingDataset
+from repro.core.engine import ClaimMatrix, EngineResult, run_convergence_loop
 from repro.core.framework import (
     GROUP_AGGREGATIONS,
     FrameworkResult,
@@ -51,6 +55,8 @@ __all__ = [
     "CategoricalClaims",
     "CategoricalResult",
     "CategoricalTruthDiscovery",
+    "ClaimMatrix",
+    "EngineResult",
     "GTM",
     "GROUP_AGGREGATIONS",
     "AccountGrouper",
@@ -76,4 +82,5 @@ __all__ = [
     "exponential_weights",
     "reciprocal_weights",
     "replay_dataset",
+    "run_convergence_loop",
 ]

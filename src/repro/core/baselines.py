@@ -17,22 +17,37 @@ the classic baselines referenced in the paper's related work:
 All baselines implement the same ``discover(dataset)`` protocol as
 :class:`~repro.core.truth_discovery.IterativeTruthDiscovery`, so experiment
 harnesses can treat any of them as an opaque truth-discovery engine.
+
+The iterative baselines are expressed as weight functionals over the
+shared claim-matrix engine: GTM's EM and CATD's confidence-bound update
+are both "distance vector in, weight vector out" maps, so they plug into
+:func:`~repro.core.engine.loop.run_convergence_loop` exactly like CRH —
+only the functional (and, for GTM, the distance normalization) differs.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict
+from dataclasses import replace
 
 import numpy as np
 from scipy import stats
 
-from repro._nputil import nanmean_quiet, nanmedian_quiet, nanstd_quiet
+from repro._nputil import EPS
 from repro.core.dataset import SensingDataset
+from repro.core.engine.loop import run_convergence_loop
+from repro.core.engine.matrix import ClaimMatrix
 from repro.core.truth_discovery import ConvergencePolicy, TruthDiscoveryResult
 from repro.errors import DataValidationError
 
-_EPS = 1e-12
+
+def _truth_map(matrix: ClaimMatrix, truths: np.ndarray):
+    answered = matrix.answered_cols
+    return {
+        tid: float(truths[j])
+        for j, tid in enumerate(matrix.col_labels)
+        if answered[j] and not math.isnan(truths[j])
+    }
 
 
 class MeanAggregator:
@@ -46,14 +61,10 @@ class MeanAggregator:
     def discover(self, dataset: SensingDataset) -> TruthDiscoveryResult:
         if len(dataset) == 0:
             raise DataValidationError("cannot aggregate an empty dataset")
-        matrix, accounts, tasks = dataset.to_matrix()
-        means = nanmean_quiet(matrix, axis=0)
-        truths = {
-            tid: float(means[j]) for j, tid in enumerate(tasks) if not math.isnan(means[j])
-        }
+        matrix = ClaimMatrix.from_dataset(dataset)
         return TruthDiscoveryResult(
-            truths=truths,
-            weights={account: 1.0 for account in accounts},
+            truths=_truth_map(matrix, matrix.column_means()),
+            weights={account: 1.0 for account in matrix.row_labels},
             iterations=1,
             converged=True,
         )
@@ -71,16 +82,10 @@ class MedianAggregator:
     def discover(self, dataset: SensingDataset) -> TruthDiscoveryResult:
         if len(dataset) == 0:
             raise DataValidationError("cannot aggregate an empty dataset")
-        matrix, accounts, tasks = dataset.to_matrix()
-        medians = nanmedian_quiet(matrix, axis=0)
-        truths = {
-            tid: float(medians[j])
-            for j, tid in enumerate(tasks)
-            if not math.isnan(medians[j])
-        }
+        matrix = ClaimMatrix.from_dataset(dataset)
         return TruthDiscoveryResult(
-            truths=truths,
-            weights={account: 1.0 for account in accounts},
+            truths=_truth_map(matrix, matrix.column_medians()),
+            weights={account: 1.0 for account in matrix.row_labels},
             iterations=1,
             converged=True,
         )
@@ -119,38 +124,34 @@ class GTM:
     def discover(self, dataset: SensingDataset) -> TruthDiscoveryResult:
         if len(dataset) == 0:
             raise DataValidationError("cannot aggregate an empty dataset")
-        matrix, accounts, tasks = dataset.to_matrix()
-        answered = ~np.isnan(matrix)
-        task_mask = answered.any(axis=0)
-        truths = nanmean_quiet(matrix, axis=0)
-        variances = np.ones(len(accounts))
+        matrix = ClaimMatrix.from_dataset(dataset)
+        counts = matrix.claim_counts_by_row
 
-        converged = False
-        iterations = 0
-        for iterations in range(1, self._convergence.max_iterations + 1):
-            # M-step: per-source variance from residuals against truths.
-            residual = np.where(answered, matrix - truths[np.newaxis, :], 0.0)
-            sse = (residual**2).sum(axis=1)
-            counts = answered.sum(axis=1)
+        def gtm_precision(sse: np.ndarray) -> np.ndarray:
+            # M-step (variance from residuals) folded with the weight the
+            # E-step uses, so one call covers both halves of the iteration.
             variances = (self._beta + sse) / (self._alpha + counts)
-            # E-step: precision-weighted truth estimate.
-            precision = 1.0 / np.maximum(variances, _EPS)
-            mass = (answered * precision[:, np.newaxis]).sum(axis=0)
-            weighted = (np.where(answered, matrix, 0.0) * precision[:, np.newaxis]).sum(axis=0)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                estimates = weighted / mass
-            new_truths = np.where(mass > 0, estimates, truths)
-            delta = float(np.nanmax(np.abs(new_truths - truths))) if task_mask.any() else 0.0
-            truths = new_truths
-            if delta < self._convergence.tolerance:
-                converged = True
-                break
+            return 1.0 / np.maximum(variances, EPS)
 
-        truth_map = {tid: float(truths[j]) for j, tid in enumerate(tasks) if task_mask[j]}
-        precision = 1.0 / np.maximum(variances, _EPS)
-        weights = {account: float(p) for account, p in zip(accounts, precision)}
+        result = run_convergence_loop(
+            matrix,
+            weight_function=gtm_precision,
+            # GTM uses raw residuals: the variance model absorbs scale.
+            normalize=False,
+            convergence=replace(self._convergence, strict=False),
+            initial_truths=matrix.column_means(),
+            event_name="gtm.iteration",
+            metrics_prefix="gtm",
+            record_history=False,
+        )
+        weights = {
+            account: float(p) for account, p in zip(matrix.row_labels, result.weights)
+        }
         return TruthDiscoveryResult(
-            truths=truth_map, weights=weights, iterations=iterations, converged=converged
+            truths=_truth_map(matrix, result.truths),
+            weights=weights,
+            iterations=result.iterations,
+            converged=result.converged,
         )
 
 
@@ -191,35 +192,29 @@ class CATD:
     def discover(self, dataset: SensingDataset) -> TruthDiscoveryResult:
         if len(dataset) == 0:
             raise DataValidationError("cannot aggregate an empty dataset")
-        matrix, accounts, tasks = dataset.to_matrix()
-        answered = ~np.isnan(matrix)
-        task_mask = answered.any(axis=0)
-        counts = answered.sum(axis=1)
-        quantiles = stats.chi2.ppf(self._significance, np.maximum(counts, 1))
-        truths = nanmean_quiet(matrix, axis=0)
-        spreads = nanstd_quiet(matrix, axis=0)
-        spreads = np.where(np.isnan(spreads) | (spreads < _EPS), 1.0, spreads)
+        matrix = ClaimMatrix.from_dataset(dataset)
+        quantiles = stats.chi2.ppf(
+            self._significance, np.maximum(matrix.claim_counts_by_row, 1)
+        )
 
-        converged = False
-        iterations = 0
-        weights = np.ones(len(accounts))
-        for iterations in range(1, self._convergence.max_iterations + 1):
-            residual = np.where(answered, matrix - truths[np.newaxis, :], 0.0)
-            sse = (residual**2 / spreads[np.newaxis, :]).sum(axis=1)
-            weights = quantiles / np.maximum(sse, _EPS)
-            mass = (answered * weights[:, np.newaxis]).sum(axis=0)
-            weighted = (np.where(answered, matrix, 0.0) * weights[:, np.newaxis]).sum(axis=0)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                estimates = weighted / mass
-            new_truths = np.where(mass > 0, estimates, truths)
-            delta = float(np.nanmax(np.abs(new_truths - truths))) if task_mask.any() else 0.0
-            truths = new_truths
-            if delta < self._convergence.tolerance:
-                converged = True
-                break
+        def catd_weights(sse: np.ndarray) -> np.ndarray:
+            return quantiles / np.maximum(sse, EPS)
 
-        truth_map = {tid: float(truths[j]) for j, tid in enumerate(tasks) if task_mask[j]}
-        weight_map = {account: float(w) for account, w in zip(accounts, weights)}
+        result = run_convergence_loop(
+            matrix,
+            weight_function=catd_weights,
+            convergence=replace(self._convergence, strict=False),
+            initial_truths=matrix.column_means(),
+            event_name="catd.iteration",
+            metrics_prefix="catd",
+            record_history=False,
+        )
+        weights = {
+            account: float(w) for account, w in zip(matrix.row_labels, result.weights)
+        }
         return TruthDiscoveryResult(
-            truths=truth_map, weights=weight_map, iterations=iterations, converged=converged
+            truths=_truth_map(matrix, result.truths),
+            weights=weights,
+            iterations=result.iterations,
+            converged=result.converged,
         )

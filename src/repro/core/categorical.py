@@ -31,8 +31,6 @@ from repro.errors import DataValidationError
 
 Label = Hashable
 
-_EPS = 1e-12
-
 
 class CategoricalClaims:
     """A validated collection of categorical claims.

@@ -1,0 +1,359 @@
+"""The compiled claim matrix: a CSR-style view of a sensing campaign.
+
+Every truth discovery algorithm in this library consumes the same sparse
+structure — *who claimed what value for which task* — but the seed
+implementations each rebuilt it their own way (a dense accounts × tasks
+``NaN`` matrix for Algorithm 1, ``Dict[TaskId, Dict[int, float]]`` walks
+for Algorithm 2, per-batch dict grouping for streaming).
+:class:`ClaimMatrix` compiles the claims **once** into flat index arrays
+
+* ``row_idx[k]`` — the source (account or group) of claim ``k``;
+* ``col_idx[k]`` — the task of claim ``k``;
+* ``values[k]`` — the datum ``d_j^i``;
+
+sorted by ``(row, col)``, so every per-source or per-task aggregate is a
+segment-sum (``np.bincount``) instead of a Python loop.  The iteration
+kernels in :mod:`repro.core.engine.kernels` and the shared convergence
+loop in :mod:`repro.core.engine.loop` operate exclusively on this layout.
+
+Row compaction (:func:`compact_by_groups`) re-expresses the matrix with
+rows = groups: the data-grouping step of Algorithm 2 (Eq. 3) becomes one
+aggregation over ``(group, task)`` cells, and the Eq. 4 initial weights
+fall out of the same cell counts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro._nputil import EPS
+from repro.core.dataset import SensingDataset
+from repro.core.types import TaskId
+
+#: A group-aggregation strategy maps the values one group submitted for
+#: one task to a single representative value (the repaired Eq. 3 and its
+#: pluggable alternatives — see ``repro.core.framework``).
+GroupAggregation = Callable[[np.ndarray], float]
+
+
+class ClaimMatrix:
+    """Immutable sparse claim structure shared by all iteration kernels.
+
+    Parameters
+    ----------
+    row_idx, col_idx, values:
+        Parallel per-claim arrays.  They are re-sorted to the canonical
+        ``(row, col)`` order on construction, so callers may pass claims
+        in any order.
+    n_rows, n_cols:
+        Matrix dimensions.  Rows or columns without claims are legal
+        (an account-grouping may contain claim-less groups; a campaign
+        may publish unanswered tasks).
+    row_labels, col_labels:
+        Identifiers for rows (account ids or group indices as strings)
+        and columns (task ids), used to key result mappings.
+    """
+
+    __slots__ = (
+        "row_idx",
+        "col_idx",
+        "values",
+        "n_rows",
+        "n_cols",
+        "row_labels",
+        "col_labels",
+        "_col_counts",
+        "_spreads",
+        "_col_order",
+        "_col_indptr",
+    )
+
+    def __init__(
+        self,
+        row_idx: np.ndarray,
+        col_idx: np.ndarray,
+        values: np.ndarray,
+        n_rows: int,
+        n_cols: int,
+        row_labels: Tuple[str, ...],
+        col_labels: Tuple[TaskId, ...],
+    ):
+        row_idx = np.asarray(row_idx, dtype=np.intp)
+        col_idx = np.asarray(col_idx, dtype=np.intp)
+        values = np.asarray(values, dtype=float)
+        if not (len(row_idx) == len(col_idx) == len(values)):
+            raise ValueError("row_idx, col_idx and values must be parallel arrays")
+        order = np.lexsort((col_idx, row_idx))
+        self.row_idx = row_idx[order]
+        self.col_idx = col_idx[order]
+        self.values = values[order]
+        self.n_rows = int(n_rows)
+        self.n_cols = int(n_cols)
+        self.row_labels = tuple(row_labels)
+        self.col_labels = tuple(col_labels)
+        self._col_counts: Optional[np.ndarray] = None
+        self._spreads: Optional[np.ndarray] = None
+        self._col_order: Optional[np.ndarray] = None
+        self._col_indptr: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_dataset(cls, dataset: SensingDataset) -> "ClaimMatrix":
+        """Compile a :class:`SensingDataset` (rows = accounts, cols = tasks).
+
+        Row order is the dataset's sorted account order and column order
+        its sorted task order — identical to ``dataset.to_matrix()`` —
+        but the build is O(claims), never materializing the dense matrix.
+        """
+        accounts = dataset.accounts
+        tasks = dataset.tasks
+        col_of = {tid: j for j, tid in enumerate(tasks)}
+        n = len(dataset)
+        row_idx = np.empty(n, dtype=np.intp)
+        col_idx = np.empty(n, dtype=np.intp)
+        values = np.empty(n, dtype=float)
+        k = 0
+        for i, account in enumerate(accounts):
+            for obs in dataset.observations_for_account(account):
+                row_idx[k] = i
+                col_idx[k] = col_of[obs.task_id]
+                values[k] = obs.value
+                k += 1
+        return cls(
+            row_idx,
+            col_idx,
+            values,
+            n_rows=len(accounts),
+            n_cols=len(tasks),
+            row_labels=tuple(str(a) for a in accounts),
+            col_labels=tasks,
+        )
+
+    # ------------------------------------------------------------------
+    # Cached per-column structure
+    # ------------------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of claims."""
+        return len(self.values)
+
+    @property
+    def claim_counts_by_col(self) -> np.ndarray:
+        """``|U_j|``: number of claims per column."""
+        if self._col_counts is None:
+            self._col_counts = np.bincount(self.col_idx, minlength=self.n_cols)
+        return self._col_counts
+
+    @property
+    def answered_cols(self) -> np.ndarray:
+        """Boolean mask of columns with at least one claim."""
+        return self.claim_counts_by_col > 0
+
+    @property
+    def claim_counts_by_row(self) -> np.ndarray:
+        """Number of claims per row (``n_i`` of CATD / GTM)."""
+        return np.bincount(self.row_idx, minlength=self.n_rows)
+
+    @property
+    def spreads(self) -> np.ndarray:
+        """Per-column claim standard deviation with a floor of 1.0.
+
+        The CRH normalizer: degenerate columns (no claims, a single
+        claim, or an exactly constant claim set) get spread 1.0 so the
+        squared distance passes through unscaled.
+        """
+        if self._spreads is None:
+            from repro.core.engine.kernels import column_spreads
+
+            self._spreads = column_spreads(
+                self.values, self.col_idx, self.n_cols
+            )
+        return self._spreads
+
+    def _column_slices(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSC view: a permutation sorting claims by column + boundaries.
+
+        ``order, indptr = m._column_slices()`` makes column ``j``'s claims
+        ``m.values[order[indptr[j]:indptr[j+1]]]``, in row order (the
+        permutation is stable over the canonical ``(row, col)`` layout).
+        """
+        if self._col_order is None:
+            self._col_order = np.argsort(self.col_idx, kind="stable")
+            self._col_indptr = np.concatenate(
+                ([0], np.cumsum(self.claim_counts_by_col))
+            )
+        return self._col_order, self._col_indptr
+
+    # ------------------------------------------------------------------
+    # Column statistics (iteration-0 truths)
+    # ------------------------------------------------------------------
+
+    def column_means(self) -> np.ndarray:
+        """Per-column claim mean; ``NaN`` for claim-less columns."""
+        counts = self.claim_counts_by_col
+        sums = np.bincount(self.col_idx, weights=self.values, minlength=self.n_cols)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = sums / counts
+        return np.where(counts > 0, means, np.nan)
+
+    def column_medians(self) -> np.ndarray:
+        """Per-column claim median; ``NaN`` for claim-less columns."""
+        order, indptr = self._column_slices()
+        medians = np.full(self.n_cols, np.nan)
+        values = self.values[order]
+        for j in range(self.n_cols):
+            lo, hi = indptr[j], indptr[j + 1]
+            if hi > lo:
+                medians[j] = np.median(values[lo:hi])
+        return medians
+
+    def column_minmax(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-column claim min and max; ``NaN`` for claim-less columns."""
+        lows = np.full(self.n_cols, np.inf)
+        highs = np.full(self.n_cols, -np.inf)
+        np.minimum.at(lows, self.col_idx, self.values)
+        np.maximum.at(highs, self.col_idx, self.values)
+        empty = ~self.answered_cols
+        lows[empty] = np.nan
+        highs[empty] = np.nan
+        return lows, highs
+
+
+class GroupedClaims:
+    """A claim matrix compacted to group rows, plus the Eq. 4 weights.
+
+    Attributes
+    ----------
+    matrix:
+        One claim per ``(group, task)`` cell — the grouped data
+        ``d~_j^k`` of Eq. 3, rows indexed by group.
+    initial_weights:
+        Eq. 4 weight ``w~_k = 1 - |g_k ∩ U_j| / |U_j|`` per cell,
+        parallel to ``matrix.values``.
+    cell_sizes:
+        Number of account-level claims folded into each cell.
+    """
+
+    __slots__ = ("matrix", "initial_weights", "cell_sizes")
+
+    def __init__(
+        self,
+        matrix: ClaimMatrix,
+        initial_weights: np.ndarray,
+        cell_sizes: np.ndarray,
+    ):
+        self.matrix = matrix
+        self.initial_weights = initial_weights
+        self.cell_sizes = cell_sizes
+
+
+def compact_by_groups(
+    matrix: ClaimMatrix,
+    row_to_group: Sequence[int],
+    n_groups: int,
+    aggregation: GroupAggregation,
+) -> GroupedClaims:
+    """Algorithm 2 lines 2–6 as a row compaction of the claim matrix.
+
+    Claims sharing a ``(group, task)`` cell collapse into one grouped
+    claim via ``aggregation``; the Eq. 4 initial weight of each cell is
+    computed from the same cell counts.  The registry strategies
+    (``mean``, ``inverse_deviation``, ``median``) run fully vectorized;
+    arbitrary callables fall back to a per-cell loop over column-ordered
+    value slices.
+
+    Parameters
+    ----------
+    matrix:
+        Account-level claim matrix.
+    row_to_group:
+        Group index per matrix row (a :class:`~repro.core.types.Grouping`
+        projected onto the row order).
+    n_groups:
+        Total number of groups; claim-less groups keep empty rows so the
+        weight vector of the iteration covers every group.
+    aggregation:
+        The Eq. 3 strategy.
+    """
+    row_to_group = np.asarray(row_to_group, dtype=np.intp)
+    group_of_claim = row_to_group[matrix.row_idx]
+    keys = group_of_claim * matrix.n_cols + matrix.col_idx
+    unique_keys, inverse, counts = np.unique(
+        keys, return_inverse=True, return_counts=True
+    )
+    cell_group, cell_col = np.divmod(unique_keys, matrix.n_cols)
+    cell_values = _aggregate_cells(matrix, inverse, counts, aggregation)
+
+    # Eq. 4: the more accounts a group burned on a task, the less trust.
+    claimants_per_col = matrix.claim_counts_by_col
+    initial_weights = 1.0 - counts / claimants_per_col[cell_col]
+
+    grouped = ClaimMatrix(
+        cell_group,
+        cell_col,
+        cell_values,
+        n_rows=n_groups,
+        n_cols=matrix.n_cols,
+        row_labels=tuple(str(g) for g in range(n_groups)),
+        col_labels=matrix.col_labels,
+    )
+    # np.unique returns cells sorted by key = (group, col) — already the
+    # canonical layout, so the constructor's lexsort was a no-op and the
+    # parallel arrays still line up with grouped.values.
+    return GroupedClaims(grouped, initial_weights, counts)
+
+
+def _aggregate_cells(
+    matrix: ClaimMatrix,
+    inverse: np.ndarray,
+    counts: np.ndarray,
+    aggregation: GroupAggregation,
+) -> np.ndarray:
+    """Collapse each cell's claim values through the aggregation strategy."""
+    # Late import: framework defines the registry functions and imports us.
+    from repro.core.framework import (
+        aggregate_inverse_deviation,
+        aggregate_mean,
+        aggregate_median,
+    )
+
+    n_cells = len(counts)
+    values = matrix.values
+    sums = np.bincount(inverse, weights=values, minlength=n_cells)
+
+    if aggregation is aggregate_mean:
+        return sums / counts
+
+    if aggregation is aggregate_inverse_deviation:
+        centers = sums / counts
+        weights = 1.0 / (np.abs(values - centers[inverse]) + EPS)
+        weighted = np.bincount(inverse, weights=weights * values, minlength=n_cells)
+        mass = np.bincount(inverse, weights=weights, minlength=n_cells)
+        # Single-claim cells reduce to the claim itself, exactly.
+        return np.where(counts == 1, sums, weighted / mass)
+
+    starts = np.concatenate(([0], np.cumsum(counts)))
+
+    if aggregation is aggregate_median:
+        # Value-sorted within each cell, so the middle elements are the
+        # median pair.
+        by_value = values[np.lexsort((values, inverse))]
+        mid_lo = starts[:-1] + (counts - 1) // 2
+        mid_hi = starts[:-1] + counts // 2
+        return 0.5 * (by_value[mid_lo] + by_value[mid_hi])
+
+    # Contiguous per-cell slices in claim order (stable: within a cell
+    # claims stay (row, col)-sorted).
+    sorted_values = values[np.argsort(inverse, kind="stable")]
+
+    # Generic callable: one call per cell.
+    out = np.empty(n_cells)
+    for c in range(n_cells):
+        out[c] = float(aggregation(sorted_values[starts[c] : starts[c + 1]]))
+    return out

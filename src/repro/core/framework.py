@@ -24,17 +24,26 @@ which matches the paper's own description of the mixed-group case ("the
 aggregated data for the group will be close to the average of the data
 submitted by both legitimate users and Sybil attackers").  The strategy is
 pluggable; see :data:`GROUP_AGGREGATIONS` and the ABL-1 bench.
+
+Steps 2–4 all run on the shared claim-matrix engine
+(:mod:`repro.core.engine`): data grouping is a row compaction of the
+compiled claim matrix (:func:`~repro.core.engine.matrix.compact_by_groups`),
+Eq. 5 is one masked segment-sum, and the weight/truth loop is the same
+:func:`~repro.core.engine.loop.run_convergence_loop` Algorithm 1 uses —
+only the rows (groups instead of accounts) and the telemetry names differ.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro._nputil import nanstd_quiet
+from repro._nputil import EPS
 from repro.core.dataset import SensingDataset
+from repro.core.engine.loop import initial_truths_eq5, run_convergence_loop
+from repro.core.engine.matrix import ClaimMatrix, GroupedClaims, compact_by_groups
 from repro.core.grouping.base import AccountGrouper
 from repro.core.truth_discovery import (
     ConvergencePolicy,
@@ -43,10 +52,8 @@ from repro.core.truth_discovery import (
     crh_log_weights,
 )
 from repro.core.types import Grouping, TaskId
-from repro.errors import ConvergenceError, DataValidationError
-from repro.obs import get_metrics, get_tracer, weight_entropy
-
-_EPS = 1e-12
+from repro.errors import DataValidationError
+from repro.obs import get_tracer
 
 #: A group-aggregation strategy maps the values one group submitted for
 #: one task to a single representative value.
@@ -64,7 +71,7 @@ def aggregate_inverse_deviation(values: np.ndarray) -> float:
     if len(values) == 1:
         return float(values[0])
     center = values.mean()
-    weights = 1.0 / (np.abs(values - center) + _EPS)
+    weights = 1.0 / (np.abs(values - center) + EPS)
     # A constant group makes every weight equal (1/eps); the weighted mean
     # is then exactly the common value.
     return float((weights * values).sum() / weights.sum())
@@ -81,6 +88,8 @@ def aggregate_median(values: np.ndarray) -> float:
 
 
 #: Named registry of group-aggregation strategies (ABL-1 sweeps these).
+#: The engine's row compaction recognizes these three and runs them fully
+#: vectorized; arbitrary callables work too, one call per (group, task).
 GROUP_AGGREGATIONS: Dict[str, GroupAggregation] = {
     "inverse_deviation": aggregate_inverse_deviation,
     "mean": aggregate_mean,
@@ -223,143 +232,68 @@ class SybilResistantTruthDiscovery:
             span.set("groups", len(grouping))
 
             with tracer.span("framework.data_grouping", groups=len(grouping)):
-                group_values, initial_weights = self._group_data(dataset, grouping)
-            return self._iterate(dataset, grouping, group_values, initial_weights)
+                with tracer.span("engine.compile"):
+                    matrix = ClaimMatrix.from_dataset(dataset)
+                row_to_group = [
+                    grouping.group_index_of(account) for account in dataset.accounts
+                ]
+                grouped = compact_by_groups(
+                    matrix, row_to_group, len(grouping), self._aggregate
+                )
+            return self._iterate(grouping, grouped)
 
     # ------------------------------------------------------------------
 
-    def _group_data(
-        self, dataset: SensingDataset, grouping: Grouping
-    ) -> Tuple[Dict[TaskId, Dict[int, float]], Dict[TaskId, Dict[int, float]]]:
-        """Algorithm 2 lines 2–6: per-task grouped values and Eq. 4 weights."""
-        group_values: Dict[TaskId, Dict[int, float]] = {}
-        initial_weights: Dict[TaskId, Dict[int, float]] = {}
-        for task_id in dataset.tasks:
-            claimants = dataset.accounts_for_task(task_id)
-            if not claimants:
-                continue
-            per_group: Dict[int, List[float]] = {}
-            for account in claimants:
-                per_group.setdefault(grouping.group_index_of(account), []).append(
-                    dataset.value(account, task_id)
-                )
-            values = {
-                gi: self._aggregate(np.asarray(vals)) for gi, vals in per_group.items()
-            }
-            total = len(claimants)
-            weights = {
-                gi: 1.0 - len(vals) / total for gi, vals in per_group.items()
-            }
-            group_values[task_id] = values
-            initial_weights[task_id] = weights
-        return group_values, initial_weights
-
-    def _iterate(
-        self,
-        dataset: SensingDataset,
-        grouping: Grouping,
-        group_values: Dict[TaskId, Dict[int, float]],
-        initial_weights: Dict[TaskId, Dict[int, float]],
-    ) -> FrameworkResult:
-        """Algorithm 2 lines 7–15: initialization and the weight/truth loop."""
-        tasks = [tid for tid in dataset.tasks if tid in group_values]
-        task_pos = {tid: j for j, tid in enumerate(tasks)}
-        n_groups = len(grouping)
+    def _iterate(self, grouping: Grouping, grouped: GroupedClaims) -> FrameworkResult:
+        """Algorithm 2 lines 7–15: Eq. 5 initialization and the engine loop."""
+        gm = grouped.matrix
+        answered = gm.answered_cols
+        n_answered = int(answered.sum())
 
         tracer = get_tracer()
         with tracer.span(
-            "framework.iterate", groups=n_groups, tasks=len(tasks)
+            "framework.iterate", groups=gm.n_rows, tasks=n_answered
         ) as span:
-            # Dense (group, task) matrices of grouped values / answer masks.
-            values = np.full((n_groups, len(tasks)), np.nan)
-            for tid, per_group in group_values.items():
-                for gi, value in per_group.items():
-                    values[gi, task_pos[tid]] = value
-            answered = ~np.isnan(values)
+            initial = initial_truths_eq5(
+                gm.values, gm.col_idx, grouped.initial_weights, gm.n_cols
+            )
+            engine_result = run_convergence_loop(
+                gm,
+                weight_function=self._weight_function,
+                convergence=self._convergence,
+                initial_truths=initial,
+                normalize=True,
+                event_name="framework.iteration",
+                metrics_prefix="framework",
+                span=span,
+                error_subject="framework",
+            )
 
-            truths = self._initial_truths(tasks, group_values, initial_weights, values)
-
-            # Per-task spread of grouped values, for CRH-style normalization.
-            spreads = nanstd_quiet(np.where(answered, values, np.nan), axis=0)
-            spreads = np.where(np.isnan(spreads) | (spreads < _EPS), 1.0, spreads)
-
-            history: List[Tuple[float, ...]] = []
-            converged = False
-            iterations = 0
-            weights = np.ones(n_groups)
-            for iterations in range(1, self._convergence.max_iterations + 1):
-                # Group weight estimation (line 10): distance of each group's
-                # grouped data from the current truths, through W.
-                deviation = np.where(answered, values - truths[np.newaxis, :], 0.0)
-                distances = (deviation**2 / spreads[np.newaxis, :]).sum(axis=1)
-                weights = self._weight_function(distances)
-                # Truth estimation (line 13).
-                mass = (answered * weights[:, np.newaxis]).sum(axis=0)
-                weighted = (np.where(answered, values, 0.0) * weights[:, np.newaxis]).sum(axis=0)
-                with np.errstate(invalid="ignore", divide="ignore"):
-                    estimates = weighted / mass
-                new_truths = np.where(mass > 0, estimates, truths)
-                delta = float(np.max(np.abs(new_truths - truths))) if len(tasks) else 0.0
-                truths = new_truths
-                history.append(tuple(truths))
-                if tracer.enabled:
-                    tracer.event(
-                        "framework.iteration",
-                        iteration=iterations,
-                        truth_delta=delta,
-                        weight_entropy=weight_entropy(weights),
-                    )
-                if delta < self._convergence.tolerance:
-                    converged = True
-                    break
-
-            stop_reason = "converged" if converged else "max_iterations"
-            metrics = get_metrics()
-            metrics.counter("framework.runs").inc()
-            metrics.counter("framework.iterations").inc(iterations)
-            if not converged and self._convergence.strict:
-                stop_reason = "convergence_error"
-                span.set("iterations", iterations).set("stop_reason", stop_reason)
-                raise ConvergenceError(
-                    f"framework did not converge in {self._convergence.max_iterations} iterations"
-                )
-            span.set("iterations", iterations).set("stop_reason", stop_reason)
-
-        truth_map = {tid: float(truths[j]) for tid, j in task_pos.items()}
+        truth_map = {
+            tid: float(engine_result.truths[j])
+            for j, tid in enumerate(gm.col_labels)
+            if answered[j]
+        }
+        # Re-expand the cell arrays into the per-task mapping views the
+        # result contract exposes (cells visited in task-major order).
+        group_values: Dict[TaskId, Dict[int, float]] = {}
+        initial_group_weights: Dict[TaskId, Dict[int, float]] = {}
+        for k in np.argsort(gm.col_idx, kind="stable"):
+            tid = gm.col_labels[gm.col_idx[k]]
+            gi = int(gm.row_idx[k])
+            group_values.setdefault(tid, {})[gi] = float(gm.values[k])
+            initial_group_weights.setdefault(tid, {})[gi] = float(
+                grouped.initial_weights[k]
+            )
         return FrameworkResult(
             truths=truth_map,
             grouping=grouping,
-            group_values={tid: dict(vals) for tid, vals in group_values.items()},
-            initial_group_weights={
-                tid: dict(ws) for tid, ws in initial_weights.items()
+            group_values=group_values,
+            initial_group_weights=initial_group_weights,
+            group_weights={
+                gi: float(w) for gi, w in enumerate(engine_result.weights)
             },
-            group_weights={gi: float(w) for gi, w in enumerate(weights)},
-            iterations=iterations,
-            converged=converged,
-            truth_history=tuple(history),
+            iterations=engine_result.iterations,
+            converged=engine_result.converged,
+            truth_history=engine_result.history,
         )
-
-    @staticmethod
-    def _initial_truths(
-        tasks: Sequence[TaskId],
-        group_values: Mapping[TaskId, Mapping[int, float]],
-        initial_weights: Mapping[TaskId, Mapping[int, float]],
-        dense_values: np.ndarray,
-    ) -> np.ndarray:
-        """Eq. 5: weighted group average, falling back to the plain mean.
-
-        The fallback covers the degenerate case where every claimant of a
-        task sits in one group: Eq. 4 then gives that group weight zero
-        and Eq. 5 is 0/0, so the group's aggregated value is the only
-        sensible estimate.
-        """
-        truths = np.empty(len(tasks))
-        for j, tid in enumerate(tasks):
-            values = group_values[tid]
-            weights = initial_weights[tid]
-            mass = sum(weights[gi] for gi in values)
-            if mass > _EPS:
-                truths[j] = sum(weights[gi] * values[gi] for gi in values) / mass
-            else:
-                truths[j] = float(np.mean(list(values.values())))
-        return truths

@@ -21,15 +21,23 @@ module provides an incremental engine with the same weight/truth duality:
 The engine is deliberately one-pass per batch (no inner fixed-point): the
 stream itself provides the iteration, which is the standard construction
 for dynamic truth discovery.
+
+Internally the state lives in flat numpy arrays indexed by interned
+source/task ids — the streaming counterpart of the batch claim-matrix
+engine (:mod:`repro.core.engine`).  Each ``observe`` call compacts the
+batch into ``(source, task)`` vote cells with ``np.unique`` and folds
+them in with the same ``np.bincount`` segment-sums the batch kernels
+use; per-task claim statistics merge via Chan's parallel variance
+update instead of per-claim Welford steps.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro._nputil import EPS
 from repro.core.truth_discovery import (
     TruthDiscoveryResult,
     WeightFunction,
@@ -39,37 +47,14 @@ from repro.core.types import AccountId, Grouping, Observation, TaskId
 from repro.errors import DataValidationError
 from repro.obs import get_metrics, get_tracer
 
-_EPS = 1e-12
 
-
-@dataclass
-class _TaskState:
-    """Decayed weighted-average state of one task's truth."""
-
-    numerator: float = 0.0
-    mass: float = 0.0
-    # Welford running statistics over all claims seen, for distance
-    # normalization (the streaming analogue of CRH's per-task spread).
-    count: int = 0
-    mean: float = 0.0
-    m2: float = 0.0
-
-    def spread(self) -> float:
-        if self.count < 2:
-            return 1.0
-        variance = self.m2 / self.count
-        return max(float(np.sqrt(variance)), _EPS) if variance > _EPS else 1.0
-
-    def add_claim_stat(self, value: float) -> None:
-        self.count += 1
-        delta = value - self.mean
-        self.mean += delta / self.count
-        self.m2 += delta * (value - self.mean)
-
-    def estimate(self) -> Optional[float]:
-        if self.mass <= _EPS:
-            return None
-        return self.numerator / self.mass
+def _grown(array: np.ndarray, needed: int) -> np.ndarray:
+    """Return ``array`` with capacity >= needed (amortized doubling)."""
+    if len(array) >= needed:
+        return array
+    out = np.zeros(max(needed, 2 * len(array), 8))
+    out[: len(array)] = array
+    return out
 
 
 class StreamingTruthDiscovery:
@@ -112,8 +97,23 @@ class StreamingTruthDiscovery:
         self._decay = decay
         self._weight_function = weight_function
         self._grouping = grouping
-        self._tasks: Dict[TaskId, _TaskState] = {}
-        self._errors: Dict[str, float] = {}
+        self._grouped_accounts = grouping.accounts if grouping is not None else frozenset()
+        self._source_names: Dict[AccountId, str] = {}
+        # Task state: decayed weighted-average pair plus running claim
+        # statistics (count/mean/m2) for distance normalization — the
+        # streaming analogue of CRH's per-task spread.
+        self._task_index: Dict[TaskId, int] = {}
+        self._task_labels: List[TaskId] = []
+        self._numerator = np.zeros(0)
+        self._mass = np.zeros(0)
+        self._stat_count = np.zeros(0)
+        self._stat_mean = np.zeros(0)
+        self._stat_m2 = np.zeros(0)
+        # Source state: decayed cumulative error, keyed by interned id.
+        self._source_index: Dict[str, int] = {}
+        self._source_labels: List[str] = []
+        self._errors = np.zeros(0)
+        self._source_order: Optional[np.ndarray] = None
         self._weights: Dict[str, float] = {}
         self._batches = 0
 
@@ -122,12 +122,15 @@ class StreamingTruthDiscovery:
     @property
     def truths(self) -> Dict[TaskId, float]:
         """Current truth estimate per task with any folded-in data."""
-        estimates = {}
-        for task_id, state in self._tasks.items():
-            value = state.estimate()
-            if value is not None:
-                estimates[task_id] = value
-        return estimates
+        n = len(self._task_labels)
+        mass = self._mass[:n]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            estimates = self._numerator[:n] / mass
+        return {
+            tid: float(estimates[j])
+            for j, tid in enumerate(self._task_labels)
+            if mass[j] > EPS
+        }
 
     @property
     def weights(self) -> Dict[str, float]:
@@ -151,9 +154,56 @@ class StreamingTruthDiscovery:
     # ------------------------------------------------------------------
 
     def _source_of(self, account_id: AccountId) -> str:
-        if self._grouping is not None and account_id in self._grouping.accounts:
-            return f"g{self._grouping.group_index_of(account_id)}"
-        return str(account_id)
+        name = self._source_names.get(account_id)
+        if name is None:
+            if account_id in self._grouped_accounts:
+                name = f"g{self._grouping.group_index_of(account_id)}"
+            else:
+                name = str(account_id)
+            self._source_names[account_id] = name
+        return name
+
+    def _intern(self, batch: List[Observation]):
+        """Map the batch to index arrays, registering unseen ids."""
+        src_idx = np.empty(len(batch), dtype=np.intp)
+        tsk_idx = np.empty(len(batch), dtype=np.intp)
+        values = np.empty(len(batch))
+        source_index = self._source_index
+        task_index = self._task_index
+        for k, obs in enumerate(batch):
+            source = self._source_of(obs.account_id)
+            si = source_index.get(source)
+            if si is None:
+                si = len(self._source_labels)
+                source_index[source] = si
+                self._source_labels.append(source)
+            ti = task_index.get(obs.task_id)
+            if ti is None:
+                ti = len(self._task_labels)
+                task_index[obs.task_id] = ti
+                self._task_labels.append(obs.task_id)
+            src_idx[k] = si
+            tsk_idx[k] = ti
+            values[k] = obs.value
+        n_tasks = len(self._task_labels)
+        n_sources = len(self._source_labels)
+        self._numerator = _grown(self._numerator, n_tasks)
+        self._mass = _grown(self._mass, n_tasks)
+        self._stat_count = _grown(self._stat_count, n_tasks)
+        self._stat_mean = _grown(self._stat_mean, n_tasks)
+        self._stat_m2 = _grown(self._stat_m2, n_tasks)
+        if len(self._errors) < n_sources:
+            self._errors = _grown(self._errors, n_sources)
+            self._source_order = None
+        return src_idx, tsk_idx, values
+
+    def _task_spreads(self, n_tasks: int) -> np.ndarray:
+        """Per-task claim standard deviation (1.0 until it is meaningful)."""
+        counts = self._stat_count[:n_tasks]
+        with np.errstate(invalid="ignore", divide="ignore"):
+            variance = self._stat_m2[:n_tasks] / counts
+        usable = (counts >= 2) & (variance > EPS)
+        return np.where(usable, np.sqrt(np.where(usable, variance, 1.0)), 1.0)
 
     def observe(self, observations: Iterable[Observation]) -> Dict[TaskId, float]:
         """Fold one batch into the state; returns the updated truths.
@@ -174,67 +224,82 @@ class StreamingTruthDiscovery:
             return self.truths
         self._batches += 1
 
-        # 1. Decay.
-        for state in self._tasks.values():
-            state.numerator *= self._decay
-            state.mass *= self._decay
-        for source in self._errors:
-            self._errors[source] *= self._decay
+        n_tasks_pre = len(self._task_labels)
+        src_idx, tsk_idx, values = self._intern(batch)
+        n_tasks = len(self._task_labels)
+        n_sources = len(self._source_labels)
+        numerator = self._numerator[:n_tasks]
+        mass = self._mass[:n_tasks]
+        errors = self._errors[:n_sources]
 
-        # Group claims: (source, task) -> list of values.
-        votes: Dict[Tuple[str, TaskId], List[float]] = {}
-        for obs in batch:
-            votes.setdefault(
-                (self._source_of(obs.account_id), obs.task_id), []
-            ).append(obs.value)
+        # 1. Decay (new ids hold zeros, so decaying the full span is safe).
+        numerator *= self._decay
+        mass *= self._decay
+        errors *= self._decay
 
-        # 2. Error update against pre-batch truths, then weights.
-        pre_truths = {
-            tid: state.estimate()
-            for tid, state in self._tasks.items()
-        }
-        for (source, task_id), values in votes.items():
-            vote = float(np.mean(values))
-            truth = pre_truths.get(task_id)
-            state = self._tasks.get(task_id)
-            if truth is not None and state is not None:
-                error = (vote - truth) ** 2 / state.spread() ** 2
-                self._errors[source] = self._errors.get(source, 0.0) + error
-            else:
-                self._errors.setdefault(source, 0.0)
+        # Compact the batch into (source, task) vote cells.  ``first_pos``
+        # remembers where each cell first appeared in the batch — the
+        # zero-weight nudge below depends on batch arrival order.
+        keys = src_idx * n_tasks + tsk_idx
+        cell_keys, first_pos, inverse, cell_sizes = np.unique(
+            keys, return_index=True, return_inverse=True, return_counts=True
+        )
+        cell_src, cell_tsk = np.divmod(cell_keys, n_tasks)
+        cell_votes = np.bincount(inverse, weights=values) / cell_sizes
 
-        sources = sorted(self._errors)
-        error_vector = np.array([self._errors[s] for s in sources])
-        weight_vector = self._weight_function(error_vector)
+        # 2. Error update against pre-batch truths, then weights.  Only
+        # tasks that existed before this batch *and* still carry weight
+        # mass have a truth to disagree with.
+        with np.errstate(invalid="ignore", divide="ignore"):
+            pre_truths = numerator / mass
+        scoreable = (cell_tsk < n_tasks_pre) & (mass[cell_tsk] > EPS)
+        spreads = self._task_spreads(n_tasks)
+        residual = cell_votes - np.where(scoreable, pre_truths[cell_tsk], 0.0)
+        cell_errors = np.where(
+            scoreable, residual * residual / spreads[cell_tsk] ** 2, 0.0
+        )
+        errors += np.bincount(cell_src, weights=cell_errors, minlength=n_sources)
+
+        order = self._sorted_sources()
+        weight_vector = self._weight_function(errors[order])
         self._weights = {
-            source: float(weight)
-            for source, weight in zip(sources, weight_vector)
+            self._source_labels[i]: float(w)
+            for i, w in zip(order.tolist(), weight_vector)
         }
 
-        # 3. Fold votes into truth states.
-        for (source, task_id), values in votes.items():
-            vote = float(np.mean(values))
-            state = self._tasks.setdefault(task_id, _TaskState())
-            weight = self._weights.get(source, 1.0)
-            # A zero-weight source still nudges an *empty* task state so
-            # that some estimate exists; established tasks ignore it.
-            if state.mass <= _EPS and weight <= _EPS:
-                weight = _EPS * 10
-            state.numerator += weight * vote
-            state.mass += weight
-            for value in values:
-                state.add_claim_stat(value)
+        # 3. Fold votes into truth states.  A zero-weight source still
+        # nudges an *empty* task state so that some estimate exists;
+        # established tasks ignore it.  Only the first-arriving cell of an
+        # empty task gets the nudge — after it folds in, the task's mass
+        # sits above the floor and later cells are treated normally.
+        by_source = np.empty(n_sources)
+        by_source[order] = weight_vector
+        cell_weights = by_source[cell_src]
+        empty_task = mass <= EPS
+        first_claim = np.full(n_tasks, len(batch), dtype=np.intp)
+        np.minimum.at(first_claim, cell_tsk, first_pos)
+        nudge = (
+            empty_task[cell_tsk]
+            & (first_pos == first_claim[cell_tsk])
+            & (cell_weights <= EPS)
+        )
+        cell_weights = np.where(nudge, EPS * 10, cell_weights)
+        numerator += np.bincount(
+            cell_tsk, weights=cell_weights * cell_votes, minlength=n_tasks
+        )
+        mass += np.bincount(cell_tsk, weights=cell_weights, minlength=n_tasks)
+
+        self._merge_claim_stats(tsk_idx, values, n_tasks)
 
         # Per-batch telemetry: the decayed error mass tracks how much
         # recent disagreement the engine is carrying, the active-source
         # gauge how many (grouped) sources hold an error history.
-        error_mass = float(sum(self._errors.values()))
-        batch_sources = len({source for source, _ in votes})
+        error_mass = float(errors.sum())
         metrics = get_metrics()
         metrics.counter("streaming.batches").inc()
         metrics.counter("streaming.observations").inc(len(batch))
         metrics.gauge("streaming.error_mass").set(error_mass)
-        metrics.gauge("streaming.active_sources").set(len(self._errors))
+        metrics.gauge("streaming.active_sources").set(n_sources)
         metrics.histogram("streaming.batch_size").observe(len(batch))
         tracer = get_tracer()
         if tracer.enabled:
@@ -242,13 +307,58 @@ class StreamingTruthDiscovery:
                 "streaming.batch",
                 batch=self._batches,
                 observations=len(batch),
-                batch_sources=batch_sources,
-                active_sources=len(self._errors),
+                batch_sources=len(np.unique(cell_src)),
+                active_sources=n_sources,
                 error_mass=error_mass,
-                tasks_tracked=len(self._tasks),
+                tasks_tracked=n_tasks,
             )
 
         return self.truths
+
+    def _sorted_sources(self) -> np.ndarray:
+        """Source indices in sorted-name order (cached between batches)."""
+        if self._source_order is None or len(self._source_order) != len(
+            self._source_labels
+        ):
+            self._source_order = np.array(
+                sorted(
+                    range(len(self._source_labels)),
+                    key=self._source_labels.__getitem__,
+                ),
+                dtype=np.intp,
+            )
+        return self._source_order
+
+    def _merge_claim_stats(
+        self, tsk_idx: np.ndarray, values: np.ndarray, n_tasks: int
+    ) -> None:
+        """Fold the batch's claims into the per-task running statistics.
+
+        Chan's parallel variance update: the batch's per-task count, mean
+        and squared deviation merge into the running (count, mean, m2)
+        triple in one shot — algebraically identical to feeding the claims
+        one at a time through Welford's recurrence.
+        """
+        batch_counts = np.bincount(tsk_idx, minlength=n_tasks)
+        batch_sums = np.bincount(tsk_idx, weights=values, minlength=n_tasks)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            batch_means = batch_sums / batch_counts
+        deviation = values - batch_means[tsk_idx]
+        batch_m2 = np.bincount(
+            tsk_idx, weights=deviation * deviation, minlength=n_tasks
+        )
+
+        counts = self._stat_count[:n_tasks]
+        means = self._stat_mean[:n_tasks]
+        m2 = self._stat_m2[:n_tasks]
+        totals = np.maximum(counts + batch_counts, 1)
+        present = batch_counts > 0
+        delta = np.where(present, batch_means - means, 0.0)
+        means += np.where(present, delta * batch_counts / totals, 0.0)
+        m2 += np.where(
+            present, batch_m2 + delta * delta * counts * batch_counts / totals, 0.0
+        )
+        counts += batch_counts
 
 
 def replay_dataset(

@@ -8,39 +8,55 @@ A truth discovery algorithm alternates two phases until convergence:
 * **truth estimation** — given the weights, re-estimate each task's truth as
   the weighted average of its claims (Eq. 2).
 
-This module provides the machinery shared by the concrete algorithms:
+This module provides the public surface of the batch algorithms:
 
-* :class:`ConvergencePolicy` — iteration budget and truth-change tolerance;
+* :class:`ConvergencePolicy` — iteration budget and truth-change tolerance
+  (defined in :mod:`repro.core.engine.loop`, re-exported here);
 * weight functionals (:func:`crh_log_weights`, :func:`reciprocal_weights`,
   :func:`exponential_weights`) — different published instantiations of
   ``W``;
 * :class:`TruthDiscoveryResult` — truths, per-source weights, and
   convergence diagnostics;
-* :class:`IterativeTruthDiscovery` — the Algorithm 1 loop, parameterized by
-  a weight functional.  :class:`repro.core.crh.CRH` is a thin preset of it.
+* :class:`IterativeTruthDiscovery` — Algorithm 1, parameterized by a weight
+  functional.  :class:`repro.core.crh.CRH` is a thin preset of it.
+
+The iteration itself runs on the shared claim-matrix engine
+(:mod:`repro.core.engine`): the dataset compiles once into CSR-style
+claim arrays and every weight/truth round is two segment-sum kernels, so
+this class is a thin adapter between :class:`SensingDataset` in and
+:class:`TruthDiscoveryResult` out.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Mapping, Optional, Tuple
+from typing import Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro._nputil import nanmean_quiet, nanmedian_quiet, nanminmax_quiet, nanstd_quiet
+from repro._nputil import EPS
 from repro.core.dataset import SensingDataset
+from repro.core.engine.loop import (
+    ConvergencePolicy,
+    WeightFunction,
+    run_convergence_loop,
+)
+from repro.core.engine.matrix import ClaimMatrix
 from repro.core.types import TaskId
-from repro.errors import ConvergenceError, DataValidationError
-from repro.obs import get_metrics, get_tracer, weight_entropy
+from repro.errors import DataValidationError
+from repro.obs import get_tracer
 
-#: A weight functional maps the vector of per-source aggregate distances to
-#: a vector of non-negative source weights.  It must be monotonically
-#: decreasing: a larger distance never yields a larger weight.
-WeightFunction = Callable[[np.ndarray], np.ndarray]
-
-#: Numerical floor used to keep logarithms and divisions finite when a
-#: source agrees exactly with every truth estimate.
-_EPS = 1e-12
+__all__ = [
+    "ConvergencePolicy",
+    "IterativeTruthDiscovery",
+    "TruthDiscoveryResult",
+    "WeightFunction",
+    "crh_log_weights",
+    "exponential_weights",
+    "normalized_squared_distance",
+    "reciprocal_weights",
+    "weighted_median",
+]
 
 
 def crh_log_weights(distances: np.ndarray) -> np.ndarray:
@@ -49,9 +65,9 @@ def crh_log_weights(distances: np.ndarray) -> np.ndarray:
     This is the weight functional of the CRH framework (Li et al.,
     SIGMOD 2014), obtained as the closed-form solution of CRH's joint
     optimization.  Sources whose claims sit exactly on the truths get the
-    weight of an ``_EPS`` distance — large but finite.
+    weight of an ``EPS`` distance — large but finite.
     """
-    distances = np.maximum(np.asarray(distances, dtype=float), _EPS)
+    distances = np.maximum(np.asarray(distances, dtype=float), EPS)
     total = distances.sum()
     if total <= 0:
         return np.ones_like(distances)
@@ -67,7 +83,7 @@ def reciprocal_weights(distances: np.ndarray) -> np.ndarray:
     A simpler decreasing functional used by several truth discovery
     variants; more aggressive than CRH's logarithm.
     """
-    distances = np.maximum(np.asarray(distances, dtype=float), _EPS)
+    distances = np.maximum(np.asarray(distances, dtype=float), EPS)
     weights = 1.0 / distances
     return weights / weights.sum()
 
@@ -84,37 +100,6 @@ def exponential_weights(distances: np.ndarray, scale: float = 1.0) -> np.ndarray
     shifted = distances - distances.min()
     weights = np.exp(-shifted / scale)
     return weights / weights.sum()
-
-
-@dataclass(frozen=True)
-class ConvergencePolicy:
-    """When to stop the weight/truth iteration.
-
-    The paper notes the criterion is application-specific (CRH uses a fixed
-    iteration count).  We stop when the largest truth change over one
-    iteration drops below ``tolerance``, or after ``max_iterations``.
-
-    Parameters
-    ----------
-    max_iterations:
-        Hard iteration budget.
-    tolerance:
-        Maximum absolute truth change below which the loop is converged.
-    strict:
-        If true, hitting the budget without meeting ``tolerance`` raises
-        :class:`~repro.errors.ConvergenceError` instead of returning the
-        last iterate.
-    """
-
-    max_iterations: int = 100
-    tolerance: float = 1e-6
-    strict: bool = False
-
-    def __post_init__(self) -> None:
-        if self.max_iterations < 1:
-            raise ValueError(f"max_iterations must be >= 1, got {self.max_iterations}")
-        if self.tolerance < 0:
-            raise ValueError(f"tolerance must be >= 0, got {self.tolerance}")
 
 
 @dataclass(frozen=True)
@@ -184,7 +169,7 @@ def normalized_squared_distance(
     Normalizing by the task's claim spread keeps tasks with large natural
     scales (or high disagreement) from dominating the weight update.
     """
-    return (values - truth) ** 2 / max(spread, _EPS)
+    return (values - truth) ** 2 / max(spread, EPS)
 
 
 class IterativeTruthDiscovery:
@@ -246,139 +231,53 @@ class IterativeTruthDiscovery:
         if len(dataset) == 0:
             raise DataValidationError("cannot run truth discovery on an empty dataset")
 
-        matrix, accounts, tasks = dataset.to_matrix()
         tracer = get_tracer()
         with tracer.span(
-            "td.discover", accounts=len(accounts), tasks=len(tasks)
+            "td.discover", accounts=len(dataset.accounts), tasks=len(dataset.tasks)
         ) as span:
-            answered = ~np.isnan(matrix)
-            task_mask = answered.any(axis=0)
-            truths = self._initial_truths(matrix, answered)
+            with tracer.span("engine.compile"):
+                matrix = ClaimMatrix.from_dataset(dataset)
+            engine_result = run_convergence_loop(
+                matrix,
+                weight_function=self._weight_function,
+                convergence=self._convergence,
+                initial_truths=self._initial_truths(matrix),
+                normalize=self._normalize,
+                truth_estimator=self._truth_estimator,
+                event_name="td.iteration",
+                metrics_prefix="td",
+                span=span,
+                error_subject="truth discovery",
+            )
 
-            # Pre-compute each answered task's claim spread for normalization.
-            spreads = _claim_spreads(matrix, answered)
-
-            history: List[Tuple[float, ...]] = []
-            converged = False
-            iterations = 0
-            weights = np.ones(len(accounts))
-            for iterations in range(1, self._convergence.max_iterations + 1):
-                weights = self._estimate_weights(matrix, answered, truths, spreads)
-                if self._truth_estimator == "mean":
-                    new_truths = _estimate_truths(matrix, answered, weights, truths)
-                else:
-                    new_truths = _estimate_truths_median(
-                        matrix, answered, weights, truths
-                    )
-                delta = float(np.nanmax(np.abs(new_truths - truths))) if task_mask.any() else 0.0
-                truths = new_truths
-                history.append(tuple(truths[task_mask]))
-                if tracer.enabled:
-                    tracer.event(
-                        "td.iteration",
-                        iteration=iterations,
-                        truth_delta=delta,
-                        weight_entropy=weight_entropy(weights),
-                    )
-                if delta < self._convergence.tolerance:
-                    converged = True
-                    break
-
-            stop_reason = "converged" if converged else "max_iterations"
-            metrics = get_metrics()
-            metrics.counter("td.runs").inc()
-            metrics.counter("td.iterations").inc(iterations)
-            if not converged and self._convergence.strict:
-                stop_reason = "convergence_error"
-                span.set("iterations", iterations).set("stop_reason", stop_reason)
-                raise ConvergenceError(
-                    f"truth discovery did not converge in "
-                    f"{self._convergence.max_iterations} iterations"
-                )
-            span.set("iterations", iterations).set("stop_reason", stop_reason)
-
+        answered = matrix.answered_cols
         truth_map = {
-            tid: float(truths[j]) for j, tid in enumerate(tasks) if task_mask[j]
+            tid: float(engine_result.truths[j])
+            for j, tid in enumerate(matrix.col_labels)
+            if answered[j]
         }
-        weight_map = {account: float(w) for account, w in zip(accounts, weights)}
+        weight_map = {
+            account: float(w)
+            for account, w in zip(matrix.row_labels, engine_result.weights)
+        }
         return TruthDiscoveryResult(
             truths=truth_map,
             weights=weight_map,
-            iterations=iterations,
-            converged=converged,
-            truth_history=tuple(history),
+            iterations=engine_result.iterations,
+            converged=engine_result.converged,
+            truth_history=engine_result.history,
         )
 
     # ------------------------------------------------------------------
 
-    def _initial_truths(self, matrix: np.ndarray, answered: np.ndarray) -> np.ndarray:
-        masked = np.where(answered, matrix, np.nan)
+    def _initial_truths(self, matrix: ClaimMatrix) -> np.ndarray:
         if self._initializer == "mean":
-            return nanmean_quiet(masked, axis=0)
+            return matrix.column_means()
         if self._initializer == "median":
-            return nanmedian_quiet(masked, axis=0)
-        lows, highs = nanminmax_quiet(masked, axis=0)
+            return matrix.column_medians()
+        lows, highs = matrix.column_minmax()
         assert self._rng is not None
-        draws = self._rng.uniform(np.nan_to_num(lows), np.nan_to_num(np.maximum(highs, lows)))
+        draws = self._rng.uniform(
+            np.nan_to_num(lows), np.nan_to_num(np.maximum(highs, lows))
+        )
         return np.where(np.isnan(lows), np.nan, draws)
-
-    def _estimate_weights(
-        self,
-        matrix: np.ndarray,
-        answered: np.ndarray,
-        truths: np.ndarray,
-        spreads: np.ndarray,
-    ) -> np.ndarray:
-        """Eq. 1: total distance of each account's claims, through ``W``."""
-        deviation = matrix - truths[np.newaxis, :]
-        squared = np.where(answered, deviation**2, 0.0)
-        if self._normalize:
-            squared = squared / spreads[np.newaxis, :]
-        distances = squared.sum(axis=1)
-        return self._weight_function(distances)
-
-    # ------------------------------------------------------------------
-
-
-def _claim_spreads(matrix: np.ndarray, answered: np.ndarray) -> np.ndarray:
-    """Per-task claim standard deviation with a floor, for normalization."""
-    spreads = nanstd_quiet(np.where(answered, matrix, np.nan), axis=0)
-    spreads = np.where(np.isnan(spreads) | (spreads < _EPS), 1.0, spreads)
-    return spreads
-
-
-def _estimate_truths(
-    matrix: np.ndarray,
-    answered: np.ndarray,
-    weights: np.ndarray,
-    previous: np.ndarray,
-) -> np.ndarray:
-    """Eq. 2: weighted average of claims per task.
-
-    Tasks whose claimants all carry zero weight keep their previous
-    estimate (the claims gave us no usable signal this round).
-    """
-    weighted = np.where(answered, matrix, 0.0) * weights[:, np.newaxis]
-    mass = (answered * weights[:, np.newaxis]).sum(axis=0)
-    with np.errstate(invalid="ignore", divide="ignore"):
-        estimates = weighted.sum(axis=0) / mass
-    return np.where(mass > 0, estimates, previous)
-
-
-def _estimate_truths_median(
-    matrix: np.ndarray,
-    answered: np.ndarray,
-    weights: np.ndarray,
-    previous: np.ndarray,
-) -> np.ndarray:
-    """Robust Eq. 2 variant: per-task weighted median of the claims."""
-    estimates = previous.copy()
-    for j in range(matrix.shape[1]):
-        mask = answered[:, j]
-        if not mask.any():
-            continue
-        claim_weights = weights[mask]
-        if claim_weights.sum() <= 0:
-            continue
-        estimates[j] = weighted_median(matrix[mask, j], claim_weights)
-    return estimates

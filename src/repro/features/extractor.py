@@ -18,6 +18,7 @@ from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro._nputil import EPS
 from repro.errors import FingerprintError
 from repro.features.spectral import SPECTRAL_FEATURES, spectral_feature_vector
 from repro.features.temporal import TEMPORAL_FEATURES, temporal_feature_vector
@@ -32,7 +33,6 @@ FEATURE_NAMES: Tuple[str, ...] = tuple(
     for feature in list(TEMPORAL_FEATURES) + list(SPECTRAL_FEATURES)
 )
 
-_EPS = 1e-12
 
 
 def stream_features(signal: Sequence[float]) -> np.ndarray:
@@ -104,7 +104,7 @@ class FeatureExtractor:
         spread = raw.std(axis=0)
         # A constant dimension carries no information; mapping it to 0
         # (instead of dividing by ~0) keeps k-means geometry sane.
-        self.scale_ = np.where(spread < _EPS, 1.0, spread)
+        self.scale_ = np.where(spread < EPS, 1.0, spread)
         return self
 
     def transform(

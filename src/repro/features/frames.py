@@ -25,12 +25,12 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro._nputil import EPS
 from repro.errors import FingerprintError
 from repro.features.extractor import STREAM_NAMES, stream_features
 from repro.features.spectral import SPECTRAL_FEATURES
 from repro.features.temporal import TEMPORAL_FEATURES
 
-_EPS = 1e-12
 
 #: Aggregates applied to each feature's per-frame series.
 FRAME_AGGREGATES: Dict[str, Callable[[np.ndarray], float]] = {
@@ -153,7 +153,7 @@ class FramedFeatureExtractor:
         )
         self.mean_ = raw.mean(axis=0)
         spread = raw.std(axis=0)
-        self.scale_ = np.where(spread < _EPS, 1.0, spread)
+        self.scale_ = np.where(spread < EPS, 1.0, spread)
         self._fitted_raw = raw
         return self
 

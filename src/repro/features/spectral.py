@@ -17,7 +17,8 @@ from typing import Callable, Dict, Sequence, Tuple
 
 import numpy as np
 
-_EPS = 1e-12
+from repro._nputil import EPS
+
 
 #: Rolloff concentration level (Table II row 17: "85% of the distribution").
 ROLLOFF_FRACTION = 0.85
@@ -48,7 +49,7 @@ def magnitude_spectrum(signal: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]
 def _moments(freqs: np.ndarray, mags: np.ndarray) -> Tuple[float, float]:
     """Spectral centroid and spread (the first two spectral moments)."""
     total = mags.sum()
-    if total < _EPS:
+    if total < EPS:
         return 0.0, 0.0
     weights = mags / total
     centroid = float((freqs * weights).sum())
@@ -71,7 +72,7 @@ def spectral_spread(freqs: np.ndarray, mags: np.ndarray) -> float:
 def spectral_skewness(freqs: np.ndarray, mags: np.ndarray) -> float:
     """Coefficient of skewness of the spectrum (Table II #12)."""
     centroid, spread = _moments(freqs, mags)
-    if spread < _EPS:
+    if spread < EPS:
         return 0.0
     total = mags.sum()
     weights = mags / total
@@ -81,7 +82,7 @@ def spectral_skewness(freqs: np.ndarray, mags: np.ndarray) -> float:
 def spectral_kurtosis(freqs: np.ndarray, mags: np.ndarray) -> float:
     """Spectral flatness/spikiness relative to a normal shape (Table II #13)."""
     centroid, spread = _moments(freqs, mags)
-    if spread < _EPS:
+    if spread < EPS:
         return 0.0
     total = mags.sum()
     weights = mags / total
@@ -93,10 +94,10 @@ def spectral_flatness(freqs: np.ndarray, mags: np.ndarray) -> float:
 
     1 for white noise (energy evenly spread), → 0 for pure tones.
     """
-    mags = np.maximum(mags, _EPS)
+    mags = np.maximum(mags, EPS)
     geometric = float(np.exp(np.log(mags).mean()))
     arithmetic = float(mags.mean())
-    return geometric / arithmetic if arithmetic > _EPS else 0.0
+    return geometric / arithmetic if arithmetic > EPS else 0.0
 
 
 def spectral_irregularity(freqs: np.ndarray, mags: np.ndarray) -> float:
@@ -107,7 +108,7 @@ def spectral_irregularity(freqs: np.ndarray, mags: np.ndarray) -> float:
     if len(mags) < 2:
         return 0.0
     denom = float((mags**2).sum())
-    if denom < _EPS:
+    if denom < EPS:
         return 0.0
     return float(((mags[:-1] - mags[1:]) ** 2).sum() / denom)
 
@@ -119,17 +120,17 @@ def spectral_entropy(freqs: np.ndarray, mags: np.ndarray) -> float:
     """
     power = mags**2
     total = power.sum()
-    if total < _EPS or len(power) < 2:
+    if total < EPS or len(power) < 2:
         return 0.0
     p = power / total
-    p = np.maximum(p, _EPS)
+    p = np.maximum(p, EPS)
     return float(-(p * np.log(p)).sum() / np.log(len(p)))
 
 
 def spectral_rolloff(freqs: np.ndarray, mags: np.ndarray) -> float:
     """Frequency below which 85% of magnitude is concentrated (Table II #17)."""
     total = mags.sum()
-    if total < _EPS:
+    if total < EPS:
         return 0.0
     cumulative = np.cumsum(mags)
     idx = int(np.searchsorted(cumulative, ROLLOFF_FRACTION * total))
@@ -140,7 +141,7 @@ def spectral_rolloff(freqs: np.ndarray, mags: np.ndarray) -> float:
 def spectral_brightness(freqs: np.ndarray, mags: np.ndarray) -> float:
     """Fraction of spectral energy above the cut-off frequency (Table II #18)."""
     total = mags.sum()
-    if total < _EPS:
+    if total < EPS:
         return 0.0
     cutoff = BRIGHTNESS_CUTOFF_FRACTION * 0.5  # fraction of Nyquist
     return float(mags[freqs >= cutoff].sum() / total)

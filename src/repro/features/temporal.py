@@ -12,7 +12,7 @@ from typing import Callable, Dict, Sequence
 
 import numpy as np
 
-_EPS = 1e-12
+from repro._nputil import EPS
 
 
 def _as_signal(signal: Sequence[float]) -> np.ndarray:
@@ -41,7 +41,7 @@ def skewness(signal: Sequence[float]) -> float:
     """
     arr = _as_signal(signal)
     sigma = arr.std()
-    if sigma < _EPS:
+    if sigma < EPS:
         return 0.0
     return float(((arr - arr.mean()) ** 3).mean() / sigma**3)
 
@@ -54,7 +54,7 @@ def kurtosis(signal: Sequence[float]) -> float:
     """
     arr = _as_signal(signal)
     sigma = arr.std()
-    if sigma < _EPS:
+    if sigma < EPS:
         return 0.0
     return float(((arr - arr.mean()) ** 4).mean() / sigma**4)
 

@@ -24,13 +24,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import AbstractSet, Dict, Mapping
 
+from repro._nputil import EPS
 from repro.core.dataset import SensingDataset
 from repro.core.framework import FrameworkResult
 from repro.core.truth_discovery import TruthDiscoveryResult
 from repro.core.types import AccountId
 from repro.errors import DataValidationError
 
-_EPS = 1e-12
 
 
 @dataclass(frozen=True)
@@ -83,7 +83,7 @@ def proportional_payments(
             continue
         weights = {a: max(float(result.weights.get(a, 0.0)), 0.0) for a in claimants}
         mass = sum(weights.values())
-        if mass <= _EPS:
+        if mass <= EPS:
             # Nobody earned trust: split evenly (the platform still owes
             # the budget to its contributors).
             share = budget_per_task / len(claimants)
@@ -133,7 +133,7 @@ def group_level_payments(
         }
         mass = sum(weights.values())
         for gi, members in group_claimants.items():
-            if mass <= _EPS:
+            if mass <= EPS:
                 share = budget_per_task / len(group_claimants)
             else:
                 share = budget_per_task * weights[gi] / mass
