@@ -19,6 +19,12 @@ Since schema v2 the snapshot also times:
   ``BENCH_pipeline.json`` being overwritten, so every PR's perf delta
   is recorded in the artifact itself.
 
+Schema v3 adds a ``parallel`` section: the all-pairs grouping stages
+(AG-TR trajectory DTW, AG-TS Eq. 6 affinities) timed through the
+sharded :mod:`repro.runtime` path at 4 workers against the pre-runtime
+per-pair Python loops, with the byte-identity contract (``workers=1``
+and ``workers=4`` equal to the serial reference) asserted on every run.
+
 This seeds the bench trajectory: successive PRs re-run the script and
 diff the stage timings, so a perf regression (or win) in grouping,
 data grouping, or the CRH loop is visible as a number instead of a
@@ -47,7 +53,7 @@ if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 #: Snapshot schema tag; bump when the JSON layout changes.
-SCHEMA = "repro.bench/pipeline.v2"
+SCHEMA = "repro.bench/pipeline.v3"
 
 #: The fig6 cell this snapshot times (mid-grid: both populations active).
 LEGIT_ACTIVENESS = 0.5
@@ -182,6 +188,148 @@ def time_engine_kernels(iterations: int = 25) -> Dict[str, Any]:
     }
 
 
+#: Account subsets for the all-pairs parallel grouping comparison —
+#: large enough that sharding/pruning matter, small enough that the
+#: unpruned per-pair serial reference stays benchable.
+PARALLEL_AGTR_ACCOUNTS = 150
+PARALLEL_AGTS_ACCOUNTS = 600
+PARALLEL_WORKERS = 4
+
+
+def _serial_agtr_reference(dataset, accounts, timestamp_scale=3600.0):
+    """The pre-runtime AG-TR stage: a per-pair ``dtw_distance`` loop."""
+    import numpy as np
+
+    from repro.timeseries.dtw import dtw_distance
+
+    trajectories = [
+        (xs, ys / timestamp_scale)
+        for xs, ys in (dataset.trajectory(a) for a in accounts)
+    ]
+    n = len(accounts)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            (xi, yi), (xj, yj) = trajectories[i], trajectories[j]
+            if len(xi) == 0 or len(xj) == 0:
+                score = np.nan
+            else:
+                score = dtw_distance(xi, xj, normalized=False) + dtw_distance(
+                    yi, yj, normalized=False
+                )
+            matrix[i, j] = matrix[j, i] = score
+    return matrix
+
+
+def _serial_agts_reference(dataset, accounts):
+    """The pre-runtime AG-TS stage: per-pair Python set arithmetic."""
+    import numpy as np
+
+    m = len(dataset.tasks)
+    task_sets = [dataset.task_set(a) for a in accounts]
+    n = len(accounts)
+    affinity = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            together = len(task_sets[i] & task_sets[j])
+            alone = len(task_sets[i] ^ task_sets[j])
+            affinity[i, j] = affinity[j, i] = (
+                (together - 2 * alone) * (together + alone) / m
+            )
+    return affinity
+
+
+def time_parallel_grouping() -> Dict[str, Any]:
+    """Serial-reference vs. sharded all-pairs grouping, plus the
+    byte-identity assertion of the runtime determinism contract."""
+    import numpy as np
+
+    from repro.core.grouping.taskset import taskset_affinity_matrix
+    from repro.core.grouping.trajectory import trajectory_dissimilarity_matrix
+    from repro.graph.threshold import graph_from_dissimilarity
+    from repro.runtime import runtime_session
+
+    dataset, _ = _make_large_scenario()
+    agtr_accounts = dataset.accounts[:PARALLEL_AGTR_ACCOUNTS]
+    agts_accounts = dataset.accounts[:PARALLEL_AGTS_ACCOUNTS]
+    threshold = 1.0  # the paper's phi: edges are scores strictly below it
+
+    # --- AG-TR: Eq. 8 DTW dissimilarities -----------------------------
+    t0 = time.perf_counter()
+    agtr_reference = _serial_agtr_reference(dataset, agtr_accounts)
+    agtr_serial_s = time.perf_counter() - t0
+
+    # Byte-identity is asserted on a sub-block of the pair space:
+    # pairwise scores are independent, so the serial reference's leading
+    # submatrix is the serial answer for the account subset, and running
+    # the full unpruned matrix twice more would triple the bench's cost.
+    ident_accounts = agtr_accounts[: len(agtr_accounts) // 2]
+    ident_reference = agtr_reference[: len(ident_accounts), : len(ident_accounts)]
+    with runtime_session(workers=1):
+        _, agtr_w1 = trajectory_dissimilarity_matrix(
+            dataset, accounts=ident_accounts
+        )
+    with runtime_session(workers=PARALLEL_WORKERS):
+        _, agtr_w4 = trajectory_dissimilarity_matrix(
+            dataset, accounts=ident_accounts
+        )
+        # The production AG-TR stage at 4 workers: LB_Kim/LB_Keogh
+        # pruning + early-abandoning DTW at the grouping threshold.
+        t0 = time.perf_counter()
+        _, agtr_pruned = trajectory_dissimilarity_matrix(
+            dataset, accounts=agtr_accounts, prune_threshold=threshold
+        )
+        agtr_sharded_s = time.perf_counter() - t0
+
+    # Determinism contract: unpruned sharded output is byte-identical
+    # to the serial per-pair loop at any worker count; pruning replaces
+    # >= threshold scores with inf but must keep the threshold graph
+    # (edges are strict < threshold) — and therefore the grouping.
+    identical = bool(
+        np.array_equal(ident_reference, agtr_w1, equal_nan=True)
+        and np.array_equal(ident_reference, agtr_w4, equal_nan=True)
+        and set(
+            graph_from_dissimilarity(
+                agtr_accounts, agtr_reference, threshold
+            ).connected_components()
+        )
+        == set(
+            graph_from_dissimilarity(
+                agtr_accounts, agtr_pruned, threshold
+            ).connected_components()
+        )
+    )
+
+    # --- AG-TS: Eq. 6 task-set affinities -----------------------------
+    t0 = time.perf_counter()
+    agts_reference = _serial_agts_reference(dataset, agts_accounts)
+    agts_serial_s = time.perf_counter() - t0
+
+    with runtime_session(workers=PARALLEL_WORKERS):
+        t0 = time.perf_counter()
+        _, agts_sharded = taskset_affinity_matrix(dataset, accounts=agts_accounts)
+        agts_sharded_s = time.perf_counter() - t0
+    identical = identical and bool(np.array_equal(agts_reference, agts_sharded))
+
+    def ratio(old, new):
+        return round(old / new, 2) if new > 0 else None
+
+    return {
+        "workers": PARALLEL_WORKERS,
+        "agtr_accounts": len(agtr_accounts),
+        "agtr_pairs": len(agtr_accounts) * (len(agtr_accounts) - 1) // 2,
+        "agtr_serial_s": round(agtr_serial_s, 4),
+        "agtr_sharded_s": round(agtr_sharded_s, 4),
+        "agtr_speedup": ratio(agtr_serial_s, agtr_sharded_s),
+        "agts_accounts": len(agts_accounts),
+        "agts_pairs": len(agts_accounts) * (len(agts_accounts) - 1) // 2,
+        "agts_serial_s": round(agts_serial_s, 4),
+        "agts_sharded_s": round(agts_sharded_s, 4),
+        "agts_speedup": ratio(agts_serial_s, agts_sharded_s),
+        "identical": identical,
+    }
+
+
 def speedup_vs_previous(
     previous: Dict[str, Any], current: Dict[str, Any]
 ) -> Dict[str, Any]:
@@ -263,6 +411,7 @@ def build_snapshot(trials: int, seed: int) -> Dict[str, Any]:
         "gauges": snapshot["gauges"],
         "large_scenario": time_large_scenario(),
         "engine_kernels": time_engine_kernels(),
+        "parallel": time_parallel_grouping(),
     }
 
 
@@ -301,6 +450,13 @@ def main(argv=None) -> int:
     if speedup:
         print("speedup vs previous snapshot: "
               + ", ".join(f"{k} {v:.2f}x" for k, v in speedup.items()))
+    par = document["parallel"]
+    print(f"parallel grouping ({par['workers']} workers, "
+          f"identical={par['identical']}): "
+          f"AG-TR {par['agtr_serial_s']:.2f}s -> {par['agtr_sharded_s']:.2f}s "
+          f"({par['agtr_speedup']}x), "
+          f"AG-TS {par['agts_serial_s']:.2f}s -> {par['agts_sharded_s']:.2f}s "
+          f"({par['agts_speedup']}x)")
     return 0
 
 

@@ -1,0 +1,19 @@
+"""``sys.path`` shim: make ``repro`` importable straight from a checkout.
+
+The examples are run as scripts (``python examples/quickstart.py``),
+often without installing the package or exporting ``PYTHONPATH=src``.
+Running a script puts ``examples/`` itself on ``sys.path``, so every
+example starts with ``import _bootstrap`` — which prepends the
+checkout's ``src/`` directory when ``repro`` is not already importable.
+An installed package (or an exported ``PYTHONPATH``) wins.
+"""
+
+import pathlib
+import sys
+
+try:
+    import repro  # noqa: F401  (already installed or on PYTHONPATH)
+except ImportError:
+    _SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+    if _SRC.is_dir():
+        sys.path.insert(0, str(_SRC))

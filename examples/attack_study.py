@@ -17,6 +17,8 @@ Run with::
     python examples/attack_study.py
 """
 
+import _bootstrap  # noqa: F401  (repro importable from a bare checkout)
+
 import numpy as np
 
 from repro import CRH, SybilResistantTruthDiscovery, TrajectoryGrouper, mean_absolute_error

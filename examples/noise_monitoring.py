@@ -22,6 +22,8 @@ Run with::
     python examples/noise_monitoring.py
 """
 
+import _bootstrap  # noqa: F401  (repro importable from a bare checkout)
+
 import numpy as np
 
 from repro import CRH, SybilResistantTruthDiscovery, TrajectoryGrouper, mean_absolute_error

@@ -18,6 +18,8 @@ Run with::
     python examples/platform_operations.py
 """
 
+import _bootstrap  # noqa: F401  (repro importable from a bare checkout)
+
 import numpy as np
 
 from repro.core.grouping import TrajectoryGrouper

@@ -13,6 +13,8 @@ Run with::
     python examples/quickstart.py
 """
 
+import _bootstrap  # noqa: F401  (repro importable from a bare checkout)
+
 from repro import CRH, SensingDataset, SybilResistantTruthDiscovery, TrajectoryGrouper
 
 # ----------------------------------------------------------------------

@@ -18,6 +18,8 @@ Run with::
     python examples/wifi_mapping_campaign.py [seed]
 """
 
+import _bootstrap  # noqa: F401  (repro importable from a bare checkout)
+
 import sys
 
 import numpy as np

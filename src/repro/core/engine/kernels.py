@@ -13,8 +13,11 @@ expressed as segment-sums over the flat claim arrays:
   median per task);
 * :func:`column_spreads` — the CRH per-task normalizer.
 
-All kernels are O(claims) with no Python-level loops over sources or
-tasks (the median kernel sorts, O(claims · log claims)).
+The mean/distance/spread kernels are O(claims) with no Python-level
+loops over sources or tasks; the median kernel sorts
+(O(claims · log claims)) and scans its columns one at a time — the
+cumulative weight sums must restart per column to stay exact (see the
+comment in :func:`segment_weighted_medians`).
 """
 
 from __future__ import annotations
@@ -97,27 +100,22 @@ def segment_weighted_medians(
 
     # Sort claims by (column, value); stable, so ties keep claim order.
     order = np.lexsort((values, col_idx))
-    sorted_cols = col_idx[order]
     sorted_values = values[order]
     sorted_weights = claim_weights[order]
-
-    # Within-column cumulative weight: global cumsum minus the weight
-    # mass accumulated before the column's first claim.
     indptr = np.concatenate(([0], np.cumsum(counts)))
-    cumulative = np.cumsum(sorted_weights)
-    base = np.concatenate(([0.0], cumulative))[indptr[sorted_cols]]
-    within = cumulative - base
 
-    # The weighted median index is the number of claims strictly below
-    # half the column's weight mass, capped at the last claim.
-    below_half = within < totals[sorted_cols] / 2.0
-    position = np.bincount(sorted_cols, weights=below_half, minlength=n_cols)
-    position = np.minimum(position.astype(np.intp), np.maximum(counts - 1, 0))
-
+    # Per-column scan.  A fully vectorized variant (global cumsum minus
+    # each column's base mass) silently loses weights smaller than one
+    # ulp of the running global total — e.g. a 1e-251 weight after a
+    # 1.0 weight — and then disagrees with the scalar weighted_median.
+    # The cumulative sum must restart per column to stay exact.
     estimates = previous.copy()
-    usable = (counts > 0) & (totals > 0)
-    picks = indptr[:-1][usable] + position[usable]
-    estimates[usable] = sorted_values[picks]
+    for c in np.flatnonzero((counts > 0) & (totals > 0)):
+        lo, hi = int(indptr[c]), int(indptr[c + 1])
+        weights_c = sorted_weights[lo:hi]
+        cumulative = np.cumsum(weights_c)
+        index = int(np.searchsorted(cumulative, weights_c.sum() / 2.0))
+        estimates[c] = sorted_values[lo + min(index, hi - lo - 1)]
     return estimates
 
 

@@ -25,12 +25,8 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.engine.kernels import (
-    segment_row_distances,
-    segment_weighted_medians,
-    segment_weighted_truths,
-)
 from repro.core.engine.matrix import ClaimMatrix
+from repro.core.engine.partition import InlineLoopKernels, LoopKernels
 from repro.errors import ConvergenceError
 from repro.obs import get_metrics, get_tracer, weight_entropy
 
@@ -107,6 +103,7 @@ def run_convergence_loop(
     span=None,
     record_history: bool = True,
     error_subject: str = "truth discovery",
+    kernels: Optional[LoopKernels] = None,
 ) -> EngineResult:
     """Iterate weight and truth estimation over the claim matrix.
 
@@ -141,8 +138,16 @@ def run_convergence_loop(
     error_subject:
         Subject of the strict-mode error message ("truth discovery did
         not converge …" / "framework did not converge …").
+    kernels:
+        Execution backend for the two per-iteration kernels.  ``None``
+        (default) computes inline;
+        :class:`~repro.core.engine.partition.PartitionedLoopKernels`
+        shards the distance step over row ranges and the truth step over
+        column ranges on a :class:`~repro.runtime.ShardExecutor` — with
+        byte-identical results (see :mod:`repro.core.engine.partition`).
     """
-    spreads = matrix.spreads if normalize else None
+    if kernels is None:
+        kernels = InlineLoopKernels(matrix, normalize=normalize)
     answered = matrix.answered_cols
     any_answered = bool(answered.any())
     truths = np.asarray(initial_truths, dtype=float).copy()
@@ -153,24 +158,13 @@ def run_convergence_loop(
     iterations = 0
     weights = np.ones(matrix.n_rows)
     for iterations in range(1, convergence.max_iterations + 1):
-        distances = segment_row_distances(
-            matrix.values,
-            matrix.row_idx,
-            matrix.col_idx,
-            truths,
-            matrix.n_rows,
-            spreads,
-        )
+        distances = kernels.row_distances(truths)
         weights = weight_function(distances)
         claim_weights = weights[matrix.row_idx]
         if truth_estimator == "mean":
-            new_truths = segment_weighted_truths(
-                matrix.values, matrix.col_idx, claim_weights, matrix.n_cols, truths
-            )
+            new_truths = kernels.weighted_truths(claim_weights, truths)
         else:
-            new_truths = segment_weighted_medians(
-                matrix.values, matrix.col_idx, claim_weights, matrix.n_cols, truths
-            )
+            new_truths = kernels.weighted_medians(claim_weights, truths)
         delta = (
             float(np.max(np.abs(new_truths[answered] - truths[answered])))
             if any_answered

@@ -1,0 +1,232 @@
+"""Task-partitioned execution backends for the convergence loop.
+
+:func:`~repro.core.engine.loop.run_convergence_loop` alternates two
+segment-sum kernels per iteration.  Both decompose exactly along an
+axis of the claim matrix:
+
+* the **distance step** (Eq. 1's per-source aggregate) is a per-*row*
+  reduction — and the canonical claim layout is row-major, so a row
+  shard owns a contiguous claim slice and every row's sum is
+  accumulated entirely inside one shard, in the same claim order the
+  global ``np.bincount`` would visit;
+* the **truth step** (Eq. 2 / Algorithm 2 line 11, and the
+  weighted-median variant) is a per-*column* reduction — the matrix's
+  stable CSC view gives each column shard a contiguous slice whose
+  within-column claim order again matches the global kernel's
+  accumulation order.
+
+Because IEEE-754 addition is deterministic for a fixed operand
+sequence, concatenating the shard outputs in shard order reproduces the
+inline kernels **bit for bit** — not merely to within tolerance.  This
+is the property that lets the Sybil-resistant framework run its
+group-level CRH iteration over a process pool while honouring the
+runtime determinism contract (``workers=1`` ≡ ``workers=K`` ≡ serial);
+``tests/runtime/test_determinism.py`` pins it.
+
+The alternative decomposition — running an *independent* CRH fixed
+point per task shard — would be embarrassingly parallel but not
+equivalent: Eq. 1 couples every task through the per-source weight, so
+shard-local weights diverge from the global ones.  The backends here
+keep the iteration synchronous (one weight vector, computed once per
+iteration from all shards' distances) and parallelize only the kernels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.engine.kernels import (
+    segment_row_distances,
+    segment_weighted_medians,
+    segment_weighted_truths,
+)
+from repro.runtime.executor import ShardExecutor, get_runtime
+from repro.runtime.sharding import span_shards
+
+
+class LoopKernels:
+    """Interface of a convergence-loop execution backend.
+
+    ``claim_weights`` arguments are parallel to the matrix's canonical
+    claim arrays (one weight per claim); ``previous`` / ``truths`` are
+    per-column vectors.  Implementations must return exactly what the
+    inline segment-sum kernels return.
+    """
+
+    def row_distances(self, truths: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def weighted_truths(
+        self, claim_weights: np.ndarray, previous: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def weighted_medians(
+        self, claim_weights: np.ndarray, previous: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class InlineLoopKernels(LoopKernels):
+    """The default backend: the segment-sum kernels, in-process."""
+
+    def __init__(self, matrix, normalize: bool = True):
+        self._matrix = matrix
+        self._spreads = matrix.spreads if normalize else None
+
+    def row_distances(self, truths: np.ndarray) -> np.ndarray:
+        m = self._matrix
+        return segment_row_distances(
+            m.values, m.row_idx, m.col_idx, truths, m.n_rows, self._spreads
+        )
+
+    def weighted_truths(
+        self, claim_weights: np.ndarray, previous: np.ndarray
+    ) -> np.ndarray:
+        m = self._matrix
+        return segment_weighted_truths(
+            m.values, m.col_idx, claim_weights, m.n_cols, previous
+        )
+
+    def weighted_medians(
+        self, claim_weights: np.ndarray, previous: np.ndarray
+    ) -> np.ndarray:
+        m = self._matrix
+        return segment_weighted_medians(
+            m.values, m.col_idx, claim_weights, m.n_cols, previous
+        )
+
+
+# ----------------------------------------------------------------------
+# Shard worker functions (module-level: must pickle for process pools)
+# ----------------------------------------------------------------------
+
+
+def _distance_shard(payload) -> np.ndarray:
+    values, local_rows, col_idx, n_local, spreads, truths = payload
+    return segment_row_distances(
+        values, local_rows, col_idx, truths, n_local, spreads
+    )
+
+
+def _truth_shard(payload) -> np.ndarray:
+    values, local_cols, n_local, claim_weights, previous = payload
+    return segment_weighted_truths(
+        values, local_cols, claim_weights, n_local, previous
+    )
+
+
+def _median_shard(payload) -> np.ndarray:
+    values, local_cols, n_local, claim_weights, previous = payload
+    return segment_weighted_medians(
+        values, local_cols, claim_weights, n_local, previous
+    )
+
+
+class PartitionedLoopKernels(LoopKernels):
+    """Sharded backend: row-sharded distances, column-sharded truths.
+
+    Parameters
+    ----------
+    matrix:
+        The compiled :class:`~repro.core.engine.matrix.ClaimMatrix`
+        (account-level for Algorithm 1, group-level for Algorithm 2).
+    runtime:
+        Shard executor; defaults to the process-global runtime.
+    normalize:
+        Whether the distance step divides by the per-column spreads
+        (must match the ``normalize`` flag of the convergence loop).
+    n_row_shards, n_col_shards:
+        Explicit shard counts; default to the executor's recommendation
+        for the matrix's row/column counts.
+
+    Notes
+    -----
+    Shard payloads carry their claim slices on every ``map`` call; with
+    an inline executor the slices are views (zero copy), while a
+    process pool re-pickles them each iteration.  Caching static shard
+    state worker-side (pool initializers) is the obvious next
+    optimization once iteration counts grow — the deterministic merge
+    contract is unaffected either way.
+    """
+
+    def __init__(
+        self,
+        matrix,
+        runtime: Optional[ShardExecutor] = None,
+        normalize: bool = True,
+        n_row_shards: Optional[int] = None,
+        n_col_shards: Optional[int] = None,
+    ):
+        self._runtime = runtime if runtime is not None else get_runtime()
+        spreads = matrix.spreads if normalize else None
+
+        # Row shards: contiguous row spans own contiguous claim slices
+        # of the canonical row-major layout.
+        if n_row_shards is None:
+            n_row_shards = self._runtime.shard_count(matrix.n_rows)
+        self._row_static: List[Tuple] = []
+        for row_lo, row_hi in span_shards(matrix.n_rows, n_row_shards):
+            lo = int(np.searchsorted(matrix.row_idx, row_lo, side="left"))
+            hi = int(np.searchsorted(matrix.row_idx, row_hi, side="left"))
+            self._row_static.append(
+                (
+                    matrix.values[lo:hi],
+                    matrix.row_idx[lo:hi] - row_lo,
+                    matrix.col_idx[lo:hi],
+                    row_hi - row_lo,
+                    spreads,
+                )
+            )
+
+        # Column shards over the stable CSC view: within a column the
+        # claim order matches the canonical layout's visit order, so the
+        # per-column accumulation sequence is unchanged.
+        order, indptr = matrix.csc_view()
+        csc_values = matrix.values[order]
+        csc_cols = matrix.col_idx[order]
+        self._csc_order = order
+        if n_col_shards is None:
+            n_col_shards = self._runtime.shard_count(matrix.n_cols)
+        self._col_static: List[Tuple] = []
+        self._col_spans: List[Tuple[int, int]] = []
+        self._col_claim_bounds: List[Tuple[int, int]] = []
+        for col_lo, col_hi in span_shards(matrix.n_cols, n_col_shards):
+            lo, hi = int(indptr[col_lo]), int(indptr[col_hi])
+            self._col_spans.append((col_lo, col_hi))
+            self._col_claim_bounds.append((lo, hi))
+            self._col_static.append(
+                (csc_values[lo:hi], csc_cols[lo:hi] - col_lo, col_hi - col_lo)
+            )
+
+    # ------------------------------------------------------------------
+
+    def row_distances(self, truths: np.ndarray) -> np.ndarray:
+        payloads = [static + (truths,) for static in self._row_static]
+        blocks = self._runtime.map(
+            _distance_shard, payloads, label="engine.distance_shard"
+        )
+        return np.concatenate(blocks) if blocks else np.zeros(0)
+
+    def _column_step(self, fn, claim_weights, previous) -> np.ndarray:
+        csc_weights = claim_weights[self._csc_order]
+        payloads = [
+            static + (csc_weights[lo:hi], previous[col_lo:col_hi])
+            for static, (lo, hi), (col_lo, col_hi) in zip(
+                self._col_static, self._col_claim_bounds, self._col_spans
+            )
+        ]
+        blocks = self._runtime.map(fn, payloads, label="engine.truth_shard")
+        return np.concatenate(blocks) if blocks else np.zeros(0)
+
+    def weighted_truths(
+        self, claim_weights: np.ndarray, previous: np.ndarray
+    ) -> np.ndarray:
+        return self._column_step(_truth_shard, claim_weights, previous)
+
+    def weighted_medians(
+        self, claim_weights: np.ndarray, previous: np.ndarray
+    ) -> np.ndarray:
+        return self._column_step(_median_shard, claim_weights, previous)

@@ -28,6 +28,25 @@ from repro.core.grouping.base import AccountGrouper
 from repro.core.types import AccountId, Grouping
 from repro.graph.components import UndirectedGraph
 from repro.obs import get_tracer
+from repro.runtime.executor import ShardExecutor, get_runtime, set_runtime
+
+
+def _run_constituent(payload) -> Grouping:
+    """Worker: run one constituent grouper and complete its partition.
+
+    Inside a pool worker the inherited process-global runtime may point
+    at the parent's (unusable, fork-copied) pool, so the constituent is
+    pinned to a serial inline executor — each constituent is already one
+    whole shard of the combined stage.
+    """
+    grouper, dataset, fingerprints = payload
+    previous = set_runtime(ShardExecutor(workers=1))
+    try:
+        return AccountGrouper.complete(
+            grouper.group(dataset, fingerprints), dataset
+        )
+    finally:
+        set_runtime(previous)
 
 
 class CombinedGrouper(AccountGrouper):
@@ -40,31 +59,51 @@ class CombinedGrouper(AccountGrouper):
         AG-FP + AG-TR, covering both attack types).
     mode:
         ``"union"`` (default) or ``"intersection"`` — see module docs.
+    runtime:
+        Optional :class:`~repro.runtime.ShardExecutor`.  With a parallel
+        executor the constituents run concurrently (one shard each, in
+        pool workers); the partitions come back in constituent order, so
+        the combination — and therefore the grouping — is identical to
+        the serial run.  Defaults to the process-global runtime.
     """
 
-    def __init__(self, groupers: Sequence[AccountGrouper], mode: str = "union"):
+    def __init__(
+        self,
+        groupers: Sequence[AccountGrouper],
+        mode: str = "union",
+        runtime: Optional[ShardExecutor] = None,
+    ):
         if not groupers:
             raise ValueError("CombinedGrouper needs at least one constituent")
         if mode not in ("union", "intersection"):
             raise ValueError(f"mode must be 'union' or 'intersection', got {mode!r}")
         self.groupers = tuple(groupers)
         self.mode = mode
+        self.runtime = runtime
 
     def group(
         self,
         dataset: SensingDataset,
         fingerprints: Optional[Sequence] = None,
     ) -> Grouping:
-        """Run every constituent and combine the resulting partitions."""
+        """Run every constituent (Eqs. 6-8 methods and AG-FP) and combine.
+
+        Each constituent partitions the accounts with its own criterion
+        — AG-TS's Eq. 6 affinity, AG-TR's Eq. 7/8 DTW dissimilarity, or
+        AG-FP's fingerprint matching — and the partitions are merged
+        under the union or intersection semantics.
+        """
+        runtime = self.runtime if self.runtime is not None else get_runtime()
         with get_tracer().span(
             "grouping.combined",
             mode=self.mode,
             constituents=len(self.groupers),
         ) as span:
-            partitions = [
-                self.complete(grouper.group(dataset, fingerprints), dataset)
-                for grouper in self.groupers
-            ]
+            partitions = runtime.map(
+                _run_constituent,
+                [(grouper, dataset, fingerprints) for grouper in self.groupers],
+                label="grouping.constituent",
+            )
             if self.mode == "union":
                 grouping = _union(partitions)
             else:

@@ -38,13 +38,23 @@ from repro.core.grouping.base import AccountGrouper
 from repro.core.types import AccountId, Grouping
 from repro.graph.threshold import graph_from_affinity, groups_from_components
 from repro.obs import get_metrics, get_tracer
+from repro.runtime.executor import ShardExecutor
+from repro.runtime.pairwise import sharded_taskset_affinity
 
 
 def taskset_affinity_matrix(
     dataset: SensingDataset,
     accounts: Optional[Sequence[AccountId]] = None,
+    runtime: Optional[ShardExecutor] = None,
 ) -> Tuple[Tuple[AccountId, ...], np.ndarray]:
     """Pairwise Eq. 6 affinities over the dataset's accounts.
+
+    The pair space is scored by the sharded runtime
+    (:func:`repro.runtime.pairwise.sharded_taskset_affinity`): task sets
+    become packed bitsets, ``T_ij`` a popcount over ``AND``-ed bit rows,
+    and all arithmetic stays integer until the final division by ``m`` —
+    so the scores are bit-identical to the per-pair set arithmetic for
+    any worker count.
 
     Returns the account order used and the symmetric affinity matrix
     (diagonal zero; self-affinity is never used).
@@ -55,17 +65,14 @@ def taskset_affinity_matrix(
     m = len(dataset.tasks)
     if m == 0:
         raise ValueError("dataset has no tasks; affinity is undefined")
-    task_sets = [dataset.task_set(account) for account in order]
+    task_index = {task: k for k, task in enumerate(dataset.tasks)}
     n = len(order)
+    membership = np.zeros((n, m), dtype=bool)
+    for i, account in enumerate(order):
+        for task in dataset.task_set(account):
+            membership[i, task_index[task]] = True
     get_metrics().counter("agts.pairs_scored").inc(n * (n - 1) // 2)
-    affinity = np.zeros((n, n))
-    for i in range(n):
-        for j in range(i + 1, n):
-            together = len(task_sets[i] & task_sets[j])
-            alone = len(task_sets[i] ^ task_sets[j])
-            score = (together - 2 * alone) * (together + alone) / m
-            affinity[i, j] = score
-            affinity[j, i] = score
+    affinity = sharded_taskset_affinity(membership, m, runtime=runtime)
     return order, affinity
 
 
@@ -78,21 +85,36 @@ class TaskSetGrouper(AccountGrouper):
         The edge threshold ``rho``; higher values demand more task-set
         overlap before two accounts are linked (Section IV-C remarks).
         Default 1.0, the value used in the paper's walkthrough.
+    runtime:
+        Optional :class:`~repro.runtime.ShardExecutor` for the pairwise
+        stage; defaults to the process-global runtime (serial inline
+        unless a :func:`~repro.runtime.runtime_session` or the CLI's
+        ``--workers`` installed a parallel one).
     """
 
-    def __init__(self, threshold: float = 1.0):
+    def __init__(
+        self, threshold: float = 1.0, runtime: Optional[ShardExecutor] = None
+    ):
         self.threshold = threshold
+        self.runtime = runtime
 
     def group(
         self,
         dataset: SensingDataset,
         fingerprints: Optional[Sequence] = None,
     ) -> Grouping:
-        """Partition accounts by task-set affinity (fingerprints unused)."""
+        """Partition accounts by Eq. 6 task-set affinity.
+
+        Scores every account pair with Eq. 6, keeps pairs strictly above
+        ``rho`` as edges, and returns the connected components
+        (``fingerprints`` are unused by this method).
+        """
         with get_tracer().span(
             "grouping.ag_ts", accounts=len(dataset.accounts)
         ) as span:
-            order, affinity = taskset_affinity_matrix(dataset)
+            order, affinity = taskset_affinity_matrix(
+                dataset, runtime=self.runtime
+            )
             graph = graph_from_affinity(list(order), affinity, self.threshold)
             grouping = groups_from_components(graph)
             span.set("groups", len(grouping))

@@ -34,7 +34,8 @@ from repro.core.grouping.base import AccountGrouper
 from repro.core.types import AccountId, Grouping
 from repro.graph.threshold import graph_from_dissimilarity, groups_from_components
 from repro.obs import get_metrics, get_tracer
-from repro.timeseries.dtw import dtw_distance
+from repro.runtime.executor import ShardExecutor
+from repro.runtime.pairwise import sharded_trajectory_dissimilarity
 
 #: Seconds per hour — the default timestamp rescaling.
 SECONDS_PER_HOUR = 3600.0
@@ -46,8 +47,16 @@ def trajectory_dissimilarity_matrix(
     timestamp_scale: float = SECONDS_PER_HOUR,
     normalized: bool = False,
     window: Optional[int] = None,
+    prune_threshold: Optional[float] = None,
+    runtime: Optional[ShardExecutor] = None,
 ) -> Tuple[Tuple[AccountId, ...], np.ndarray]:
     """Pairwise Eq. 8 dissimilarities over the dataset's accounts.
+
+    The pair space is scored by the sharded runtime
+    (:func:`repro.runtime.pairwise.sharded_trajectory_dissimilarity`):
+    each shard owns a contiguous pair range, reuses the
+    :mod:`repro.timeseries.bounds` lower bounds when ``prune_threshold``
+    is given, and the merged matrix is identical for any worker count.
 
     Parameters
     ----------
@@ -63,6 +72,13 @@ def trajectory_dissimilarity_matrix(
         the raw total cost (the walkthrough uses raw costs).
     window:
         Optional Sakoe-Chiba band for long trajectories.
+    prune_threshold:
+        The AG-TR edge threshold ``phi``; when given (raw cost form
+        only) pairs provably at or above it are recorded as ``inf``
+        without running the full dynamic program — the strict ``< phi``
+        threshold graph is unchanged.
+    runtime:
+        Shard executor; defaults to the process-global runtime.
 
     Returns
     -------
@@ -70,7 +86,7 @@ def trajectory_dissimilarity_matrix(
         The account order and the symmetric dissimilarity matrix.
         Accounts with no observations yield ``NaN`` rows/columns (no
         trajectory evidence), which the threshold graph treats as
-        no-edge.
+        no-edge.  Pruned pairs hold ``inf`` (also no-edge).
     """
     if timestamp_scale <= 0:
         raise ValueError(f"timestamp_scale must be positive, got {timestamp_scale}")
@@ -83,19 +99,15 @@ def trajectory_dissimilarity_matrix(
         trajectories.append((xs, ys / timestamp_scale))
     n = len(order)
     get_metrics().counter("agtr.pairs_scored").inc(n * (n - 1) // 2)
-    matrix = np.zeros((n, n))
-    for i in range(n):
-        for j in range(i + 1, n):
-            xs_i, ys_i = trajectories[i]
-            xs_j, ys_j = trajectories[j]
-            if len(xs_i) == 0 or len(xs_j) == 0:
-                score = np.nan
-            else:
-                score = dtw_distance(
-                    xs_i, xs_j, window=window, normalized=normalized
-                ) + dtw_distance(ys_i, ys_j, window=window, normalized=normalized)
-            matrix[i, j] = score
-            matrix[j, i] = score
+    if normalized:
+        prune_threshold = None  # bounds only hold for raw accumulated costs
+    matrix, _ = sharded_trajectory_dissimilarity(
+        trajectories,
+        window=window,
+        normalized=normalized,
+        prune_threshold=prune_threshold,
+        runtime=runtime,
+    )
     return order, matrix
 
 
@@ -114,6 +126,13 @@ class TrajectoryGrouper(AccountGrouper):
         Use Eq. 7 normalized DTW instead of raw total cost.
     window:
         Optional Sakoe-Chiba band half-width.
+    prune:
+        Let the runtime skip pairs whose :mod:`repro.timeseries.bounds`
+        lower bound already reaches ``threshold`` (raw cost form only;
+        the resulting grouping is provably unchanged).  Default on.
+    runtime:
+        Optional :class:`~repro.runtime.ShardExecutor`; defaults to the
+        process-global runtime.
     """
 
     def __init__(
@@ -122,18 +141,28 @@ class TrajectoryGrouper(AccountGrouper):
         timestamp_scale: float = SECONDS_PER_HOUR,
         normalized: bool = False,
         window: Optional[int] = None,
+        prune: bool = True,
+        runtime: Optional[ShardExecutor] = None,
     ):
         self.threshold = threshold
         self.timestamp_scale = timestamp_scale
         self.normalized = normalized
         self.window = window
+        self.prune = prune
+        self.runtime = runtime
 
     def group(
         self,
         dataset: SensingDataset,
         fingerprints: Optional[Sequence] = None,
     ) -> Grouping:
-        """Partition accounts by trajectory similarity (fingerprints unused)."""
+        """Partition accounts by Eq. 7/8 trajectory dissimilarity.
+
+        Computes the Eq. 8 sum of the two DTW terms (Eq. 7 defines the
+        normalized per-pair distance) for every account pair, keeps
+        pairs strictly below ``phi`` as edges, and returns the connected
+        components (``fingerprints`` are unused by this method).
+        """
         with get_tracer().span(
             "grouping.ag_tr", accounts=len(dataset.accounts)
         ) as span:
@@ -142,6 +171,8 @@ class TrajectoryGrouper(AccountGrouper):
                 timestamp_scale=self.timestamp_scale,
                 normalized=self.normalized,
                 window=self.window,
+                prune_threshold=self.threshold if self.prune else None,
+                runtime=self.runtime,
             )
             graph = graph_from_dissimilarity(list(order), matrix, self.threshold)
             grouping = groups_from_components(graph)

@@ -212,12 +212,15 @@ class StreamingTruthDiscovery:
 
         1. decay all per-task truth states and per-source errors;
         2. score each source's claims against the *pre-batch* truths and
-           update its decayed error, then its weight through ``W``
+           update its decayed error, then its weight through ``W`` —
+           the streaming counterpart of Eq. 1's weight estimation
            (claims for never-seen tasks incur no error — there was no
            truth to disagree with);
         3. fold each claim into its task's truth state, weighted by the
-           submitting source's fresh weight; grouped claims for one task
-           are first averaged into a single vote.
+           submitting source's fresh weight — Eq. 2's weighted truth
+           update, incrementalized; with a grouping, a group's claims
+           for one task are first averaged into a single vote (the
+           streaming mean-flavoured Eq. 3 data grouping of Algorithm 2).
         """
         batch = list(observations)
         if not batch:

@@ -1,0 +1,108 @@
+"""``repro.runtime`` — the sharded parallel runtime.
+
+The ROADMAP's north star is a service absorbing millions of accounts;
+at that scale the all-pairs grouping stages (AG-TS Eq. 6, AG-TR
+Eqs. 7-8) and the claim-matrix convergence loop are the wall-clock.
+This package makes those stages *shardable* without making them
+*nondeterministic*:
+
+* :mod:`repro.runtime.sharding` — pure index arithmetic that chunks the
+  upper-triangular pair space (and contiguous row/column spans) into
+  balanced work units with an exact, vectorized ``k -> (i, j)`` unrank;
+* :mod:`repro.runtime.executor` — :class:`ShardExecutor`, which runs
+  shard functions inline (``workers=1``, the default) or on a lazy
+  persistent process pool, always returning results in shard order and
+  falling back to inline execution where pools are unavailable;
+* :mod:`repro.runtime.pairwise` — the AG-TS / AG-TR shard workers:
+  bitset-vectorized Eq. 6 blocks, and Eq. 8 DTW blocks that reuse the
+  :mod:`repro.timeseries.bounds` lower bounds per shard;
+* :mod:`repro.core.engine.partition` (in the engine layer) — the
+  task-partitioned kernels that let the shared convergence loop compute
+  its distance step over row shards and its truth step over column
+  shards.
+
+**Determinism contract.** Every sharded surface produces byte-identical
+groupings and truths for ``workers=1`` and ``workers=K``, equal to the
+serial implementation: shards partition the index space, each unit is
+computed with the serial arithmetic (or an exact integer-preserving
+vectorization of it), and merges happen in shard order.  Lower-bound
+pruning only ever replaces scores that provably cannot form a threshold
+edge.  ``tests/runtime/`` pins the contract.
+
+Quickstart::
+
+    from repro.runtime import runtime_session
+
+    with runtime_session(workers=4):
+        grouping = TrajectoryGrouper().group(dataset)   # sharded AG-TR
+        result = SybilResistantTruthDiscovery().discover(dataset,
+                                                         grouping=grouping)
+
+or, from the command line, ``python -m repro.cli fig6 --workers 4``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.runtime.executor import (
+    ShardExecutor,
+    get_runtime,
+    set_runtime,
+)
+from repro.runtime.pairwise import (
+    PairwiseStats,
+    pack_task_membership,
+    sharded_taskset_affinity,
+    sharded_trajectory_dissimilarity,
+)
+from repro.runtime.sharding import (
+    default_shard_count,
+    pair_count,
+    pair_index_to_ij,
+    pair_shards,
+    span_shards,
+)
+
+__all__ = [
+    "PairwiseStats",
+    "ShardExecutor",
+    "default_shard_count",
+    "get_runtime",
+    "pack_task_membership",
+    "pair_count",
+    "pair_index_to_ij",
+    "pair_shards",
+    "runtime_session",
+    "set_runtime",
+    "sharded_taskset_affinity",
+    "sharded_trajectory_dissimilarity",
+    "span_shards",
+]
+
+
+@contextmanager
+def runtime_session(
+    workers: int = 1, shard_factor: int = 4
+) -> Iterator[ShardExecutor]:
+    """Install a :class:`ShardExecutor` for the duration of a ``with`` block.
+
+    The previous global runtime is restored (and this session's pool
+    shut down) on exit, even on error, so sessions nest safely.
+
+    Parameters
+    ----------
+    workers:
+        Parallel worker count; ``1`` gives the inline serial executor
+        (useful to scope shard-count defaults without parallelism).
+    shard_factor:
+        Shards per worker for auto-sized decompositions.
+    """
+    executor = ShardExecutor(workers=workers, shard_factor=shard_factor)
+    previous = set_runtime(executor)
+    try:
+        yield executor
+    finally:
+        set_runtime(previous)
+        executor.close()

@@ -103,6 +103,25 @@ def lb_keogh(
     return float((above**2 + below**2).sum())
 
 
+def pair_lower_bound(
+    a: Sequence[float], b: Sequence[float], window: Optional[int] = None
+) -> float:
+    """The tightest applicable lower bound on the raw DTW cost of a pair.
+
+    Always includes :func:`lb_kim`; adds :func:`lb_keogh` when it is
+    defined (equal lengths under an explicit Sakoe-Chiba band).  This is
+    the per-pair bound the sharded AG-TR runtime
+    (:mod:`repro.runtime.pairwise`) evaluates before committing to the
+    quadratic dynamic program: since the bound never exceeds the true
+    cost, pruning at the AG-TR threshold cannot change the threshold
+    graph.
+    """
+    bound = lb_kim(a, b)
+    if window is not None and len(a) == len(b):
+        bound = max(bound, lb_keogh(a, b, window))
+    return bound
+
+
 def pruned_dtw_matrix(
     series: Sequence[Sequence[float]],
     threshold: float,

@@ -40,9 +40,18 @@ def _as_series(values: Sequence[float], name: str) -> np.ndarray:
 
 
 def _cumulative_cost(
-    a: np.ndarray, b: np.ndarray, window: Optional[int]
-) -> np.ndarray:
-    """The (m+1)x(n+1) cumulative cost table with an infinite border."""
+    a: np.ndarray,
+    b: np.ndarray,
+    window: Optional[int],
+    abandon: Optional[float] = None,
+) -> Optional[np.ndarray]:
+    """The (m+1)x(n+1) cumulative cost table with an infinite border.
+
+    With ``abandon`` set, returns ``None`` as soon as every cell of a
+    completed DP row has reached ``abandon``: cumulative costs never
+    decrease along a warping path, so the final cost is then provably
+    ``>= abandon`` and the rest of the table is irrelevant.
+    """
     m, n = len(a), len(b)
     if window is not None:
         if window < 0:
@@ -61,6 +70,8 @@ def _cumulative_cost(
         for j in range(lo, hi + 1):
             best = min(cost[i - 1, j - 1], cost[i - 1, j], cost[i, j - 1])
             cost[i, j] = dist[i - 1, j - 1] + best
+        if abandon is not None and cost[i, 1:].min() >= abandon:
+            return None
     return cost
 
 
@@ -130,6 +141,38 @@ def dtw_distance(
     if not normalized:
         return total
     return float(np.sqrt(total / len(path)))
+
+
+def dtw_cost(
+    a: Sequence[float],
+    b: Sequence[float],
+    window: Optional[int] = None,
+    abandon: Optional[float] = None,
+) -> float:
+    """Raw accumulated DTW cost — Eq. 8's summand — without backtracking.
+
+    Computes the same DP recurrence as :func:`dtw_distance` with
+    ``normalized=False`` (the results are bit-identical) but skips path
+    recovery, and optionally *early-abandons*: with ``abandon`` set,
+    ``inf`` is returned as soon as every cell of a DP row has reached
+    that value, since cumulative costs never decrease along a path.
+    This is the workhorse of the sharded AG-TR runtime
+    (:mod:`repro.runtime.pairwise`), where ``abandon`` is the remaining
+    budget below the grouping threshold ``phi`` — any pair abandoned
+    here could never have formed a ``< phi`` edge.
+    """
+    arr_a = _as_series(a, "a")
+    arr_b = _as_series(b, "b")
+    if len(arr_a) == 0 or len(arr_b) == 0:
+        raise ValueError("DTW is undefined for empty series")
+    metrics = get_metrics()
+    metrics.counter("dtw.calls").inc()
+    metrics.histogram("dtw.cells").observe(len(arr_a) * len(arr_b))
+    cost = _cumulative_cost(arr_a, arr_b, window, abandon=abandon)
+    if cost is None:
+        metrics.counter("dtw.abandoned").inc()
+        return float("inf")
+    return float(cost[len(arr_a), len(arr_b)])
 
 
 def dtw_matrix(

@@ -1,0 +1,248 @@
+"""The runtime determinism contract: workers=1 ≡ workers=K ≡ serial.
+
+Every sharded surface — AG-TS affinities, AG-TR dissimilarities, the
+partitioned convergence loop, and the end-to-end framework — must
+produce **byte-identical** results (``np.array_equal``, not
+``allclose``) for any worker count, equal to the plain serial
+implementation.  These tests pin that contract on the paper's worked
+example and on a realized simulation campaign.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import SensingDataset
+from repro.core.engine import ClaimMatrix, ConvergencePolicy, run_convergence_loop
+from repro.core.engine.partition import PartitionedLoopKernels
+from repro.core.framework import SybilResistantTruthDiscovery
+from repro.core.grouping.combined import CombinedGrouper
+from repro.core.grouping.taskset import TaskSetGrouper, taskset_affinity_matrix
+from repro.core.grouping.trajectory import (
+    TrajectoryGrouper,
+    trajectory_dissimilarity_matrix,
+)
+from repro.runtime import ShardExecutor, runtime_session
+from repro.timeseries.dtw import dtw_distance
+
+
+def _serial_affinity_reference(dataset):
+    """Eq. 6 with per-pair Python set arithmetic (the original loop)."""
+    order = dataset.accounts
+    m = len(dataset.tasks)
+    task_sets = [dataset.task_set(a) for a in order]
+    n = len(order)
+    affinity = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            together = len(task_sets[i] & task_sets[j])
+            alone = len(task_sets[i] ^ task_sets[j])
+            score = (together - 2 * alone) * (together + alone) / m
+            affinity[i, j] = affinity[j, i] = score
+    return affinity
+
+
+def _serial_dissimilarity_reference(dataset, timestamp_scale=3600.0):
+    """Eq. 8 with a per-pair dtw_distance loop (the original loop)."""
+    order = dataset.accounts
+    trajectories = [
+        (xs, ys / timestamp_scale)
+        for xs, ys in (dataset.trajectory(a) for a in order)
+    ]
+    n = len(order)
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            (xi, yi), (xj, yj) = trajectories[i], trajectories[j]
+            if len(xi) == 0 or len(xj) == 0:
+                score = np.nan
+            else:
+                score = dtw_distance(xi, xj, normalized=False) + dtw_distance(
+                    yi, yj, normalized=False
+                )
+            matrix[i, j] = matrix[j, i] = score
+    return matrix
+
+
+def _partitions(grouping):
+    return {frozenset(group) for group in grouping.groups}
+
+
+class TestTaskSetDeterminism:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_affinity_matrix_byte_identical(self, paper_scenario, workers):
+        dataset = paper_scenario.dataset
+        reference = _serial_affinity_reference(dataset)
+        with runtime_session(workers=workers):
+            _, sharded = taskset_affinity_matrix(dataset)
+        assert np.array_equal(reference, sharded)
+
+    def test_grouping_partition_equal_across_workers(self, paper_scenario):
+        dataset = paper_scenario.dataset
+        with runtime_session(workers=1):
+            serial = TaskSetGrouper().group(dataset)
+        with runtime_session(workers=4):
+            parallel = TaskSetGrouper().group(dataset)
+        assert _partitions(serial) == _partitions(parallel)
+
+
+class TestTrajectoryDeterminism:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_dissimilarity_matrix_byte_identical(self, paper_scenario, workers):
+        dataset = paper_scenario.dataset
+        reference = _serial_dissimilarity_reference(dataset)
+        with runtime_session(workers=workers):
+            _, sharded = trajectory_dissimilarity_matrix(dataset)
+        assert np.array_equal(reference, sharded, equal_nan=True)
+
+    def test_pruned_grouping_equals_unpruned(self, paper_scenario):
+        dataset = paper_scenario.dataset
+        unpruned = TrajectoryGrouper(threshold=1.0, prune=False).group(dataset)
+        with runtime_session(workers=4):
+            pruned = TrajectoryGrouper(threshold=1.0, prune=True).group(dataset)
+        assert _partitions(unpruned) == _partitions(pruned)
+
+    def test_empty_trajectories_stay_nan(self):
+        dataset = SensingDataset.from_matrix(
+            [[1.0, 2.0], [1.5, 2.5]],
+            account_ids=["a", "b"],
+        )
+        with runtime_session(workers=4):
+            # "empty" never submitted anything: its trajectory is empty.
+            order, matrix = trajectory_dissimilarity_matrix(
+                dataset, accounts=["a", "empty", "b"]
+            )
+        k = order.index("empty")
+        off_diag = [matrix[k, c] for c in range(3) if c != k]
+        assert all(np.isnan(v) for v in off_diag)
+
+
+class TestPartitionedLoopDeterminism:
+    def _matrix(self):
+        rng = np.random.default_rng(9)
+        rows, cols, vals = [], [], []
+        for r in range(23):
+            for c in rng.choice(41, size=rng.integers(2, 17), replace=False):
+                rows.append(r)
+                cols.append(int(c))
+                vals.append(float(rng.normal(c, 2.0)))
+        return ClaimMatrix(
+            np.array(rows),
+            np.array(cols),
+            np.array(vals),
+            23,
+            45,
+            tuple(f"a{i}" for i in range(23)),
+            tuple(f"t{j}" for j in range(45)),
+        )
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("estimator", ["mean", "median"])
+    def test_loop_byte_identical(self, workers, estimator):
+        matrix = self._matrix()
+
+        def weight_function(distances):
+            return np.exp(-distances / (distances.mean() + 1e-9))
+
+        policy = ConvergencePolicy(max_iterations=25, tolerance=1e-10)
+        initial = matrix.column_means()
+        reference = run_convergence_loop(
+            matrix,
+            weight_function=weight_function,
+            convergence=policy,
+            initial_truths=initial,
+            truth_estimator=estimator,
+        )
+        with runtime_session(workers=workers) as runtime:
+            kernels = PartitionedLoopKernels(matrix, runtime=runtime)
+            sharded = run_convergence_loop(
+                matrix,
+                weight_function=weight_function,
+                convergence=policy,
+                initial_truths=initial,
+                truth_estimator=estimator,
+                kernels=kernels,
+            )
+        assert np.array_equal(reference.truths, sharded.truths, equal_nan=True)
+        assert np.array_equal(reference.weights, sharded.weights)
+        assert reference.iterations == sharded.iterations
+
+    def test_more_shards_than_rows_and_cols(self):
+        matrix = ClaimMatrix(
+            np.array([0]),
+            np.array([0]),
+            np.array([42.0]),
+            1,
+            1,
+            ("a0",),
+            ("t0",),
+        )
+        policy = ConvergencePolicy(max_iterations=5, tolerance=1e-12)
+        reference = run_convergence_loop(
+            matrix,
+            weight_function=lambda d: np.ones_like(d),
+            convergence=policy,
+            initial_truths=np.array([40.0]),
+        )
+        with runtime_session(workers=4) as runtime:
+            kernels = PartitionedLoopKernels(
+                matrix, runtime=runtime, n_row_shards=3, n_col_shards=3
+            )
+            sharded = run_convergence_loop(
+                matrix,
+                weight_function=lambda d: np.ones_like(d),
+                convergence=policy,
+                initial_truths=np.array([40.0]),
+                kernels=kernels,
+            )
+        assert np.array_equal(reference.truths, sharded.truths, equal_nan=True)
+
+
+class TestFrameworkDeterminism:
+    def test_truths_and_weights_byte_identical(self, paper_scenario):
+        dataset = paper_scenario.dataset
+        grouping = TaskSetGrouper().group(dataset)
+
+        def run(workers):
+            with runtime_session(workers=workers):
+                return SybilResistantTruthDiscovery().discover(
+                    dataset, grouping=grouping
+                )
+
+        serial = SybilResistantTruthDiscovery().discover(dataset, grouping=grouping)
+        for workers in (1, 4):
+            result = run(workers)
+            assert result.truths == serial.truths
+            assert result.group_weights == serial.group_weights
+            assert result.iterations == serial.iterations
+
+
+class TestCombinedDeterminism:
+    def test_constituents_parallel_equal_serial(self, paper_scenario):
+        dataset = paper_scenario.dataset
+        groupers = [TaskSetGrouper(), TrajectoryGrouper()]
+        serial = CombinedGrouper(groupers, mode="union").group(dataset)
+        with runtime_session(workers=2):
+            parallel = CombinedGrouper(groupers, mode="union").group(dataset)
+        assert _partitions(serial) == _partitions(parallel)
+
+
+class TestExecutorFallback:
+    def test_unpicklable_payload_falls_back_inline(self):
+        executor = ShardExecutor(workers=2)
+        try:
+            payloads = [(lambda: 1,), (lambda: 2,)]  # lambdas don't pickle
+            results = executor.map(_call_first, payloads)
+            assert results == [1, 2]
+            assert executor._pool_broken
+            # Subsequent maps keep working (inline).
+            assert executor.map(_identity, [(3,), (4,)]) == [(3,), (4,)]
+        finally:
+            executor.close()
+
+
+def _call_first(payload):
+    return payload[0]()
+
+
+def _identity(payload):
+    return payload

@@ -1,0 +1,37 @@
+"""The docs gate, as a tier-1 test: links resolve, tutorial doctests pass.
+
+CI also runs ``tools/check_docs.py`` as a standalone job; wrapping it
+here means a plain ``pytest`` run catches a broken doc link or a stale
+tutorial example before CI does.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "tools" / "check_docs.py"
+
+
+def test_docs_links_and_tutorial_doctests():
+    completed = subprocess.run(
+        [sys.executable, str(CHECKER)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+
+
+def test_checker_flags_broken_links(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text("[missing](docs/NOPE.md)\n")
+    (tmp_path / "docs" / "TUTORIAL.md").write_text("# stub\n")
+    completed = subprocess.run(
+        [sys.executable, str(CHECKER), "--root", str(tmp_path)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode == 1
+    assert "broken link" in completed.stdout

@@ -37,5 +37,9 @@ def test_example_runs_and_reports(name):
 
 
 def test_every_example_file_is_covered():
-    shipped = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    shipped = {
+        path.name
+        for path in EXAMPLES_DIR.glob("*.py")
+        if not path.name.startswith("_")  # _bootstrap.py is a shim, not a demo
+    }
     assert shipped == set(_EXPECTATIONS)

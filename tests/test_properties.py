@@ -2,7 +2,7 @@
 
 import numpy as np
 import pytest
-from hypothesis import assume, given, settings
+from hypothesis import assume, example, given, settings
 from hypothesis import strategies as st
 
 from repro.core.categorical import CategoricalClaims, CategoricalTruthDiscovery
@@ -428,6 +428,10 @@ def test_segment_truths_stay_in_claim_hull(claims):
         max_size=20,
     )
 )
+# Regression pin: a weight below one ulp of the column's running total
+# was absorbed by the kernel's old global-cumsum trick, shifting the
+# median index.
+@example(claims=[(0, 0.0, 1.0), (1, 0.0, 0.0), (1, -1.0, 1.1573762330996456e-251)])
 def test_segment_medians_match_scalar_weighted_median(claims):
     from repro.core.engine import segment_weighted_medians
     from repro.core.truth_discovery import weighted_median
